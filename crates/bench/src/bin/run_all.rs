@@ -1,0 +1,36 @@
+//! Runs every experiment regenerator (E1–E9) in sequence.
+//!
+//! `cargo run --release -p ssor-bench --bin run_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "e1_log_sparsity",
+        "e2_alpha_sweep",
+        "e3_lower_bound",
+        "e4_deterministic",
+        "e5_cut_sparsity",
+        "e6_completion_time",
+        "e7_traffic_engineering",
+        "e8_rounding",
+        "e9_tail_bounds",
+        "a1_oblivious_ablation",
+        "a2_solver_ablation",
+        "a3_hop_ablation",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n##### {bin} #####\n");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments completed; JSON records in results/");
+}

@@ -1,0 +1,243 @@
+//! Path systems (Definition 2.1): the combinatorial object a semi-oblivious
+//! routing *is*.
+
+use ssor_graph::{Graph, Path, VertexId};
+use std::collections::BTreeMap;
+
+/// A path system `P = {P(s, t)}`: a set of simple `(s, t)`-paths per vertex
+/// pair (Definition 2.1). A semi-oblivious routing is exactly a path system
+/// together with the Stage-4 promise to route optimally within it
+/// (Definition 5.1).
+///
+/// # Examples
+///
+/// ```
+/// use ssor_core::PathSystem;
+/// use ssor_graph::{generators, Path};
+///
+/// let g = generators::ring(6);
+/// let mut ps = PathSystem::new();
+/// ps.insert(Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+/// ps.insert(Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+/// assert_eq!(ps.sparsity(), 2);
+/// assert_eq!(ps.paths(0, 3).unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathSystem {
+    per_pair: BTreeMap<(VertexId, VertexId), Vec<Path>>,
+}
+
+impl PathSystem {
+    /// The empty path system.
+    pub fn new() -> Self {
+        PathSystem::default()
+    }
+
+    /// Adds `path` to `P(source, target)` unless an identical path (same
+    /// edge sequence) is already present. Returns whether it was inserted.
+    ///
+    /// Duplicates are collapsed because Definition 5.2 samples *with
+    /// replacement* into a *set*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is not simple or has zero hops.
+    pub fn insert(&mut self, path: Path) -> bool {
+        assert!(path.is_simple(), "path systems contain simple paths only");
+        assert!(path.hop() >= 1, "paths must have at least one edge");
+        let key = (path.source(), path.target());
+        let entry = self.per_pair.entry(key).or_default();
+        if entry.iter().any(|p| p.edges() == path.edges()) {
+            false
+        } else {
+            entry.push(path);
+            true
+        }
+    }
+
+    /// The candidate paths for `(s, t)`, if any.
+    pub fn paths(&self, s: VertexId, t: VertexId) -> Option<&[Path]> {
+        self.per_pair.get(&(s, t)).map(|v| v.as_slice())
+    }
+
+    /// Pairs with at least one candidate path.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.per_pair.keys().copied()
+    }
+
+    /// Number of pairs covered.
+    pub fn len(&self) -> usize {
+        self.per_pair.len()
+    }
+
+    /// Whether no pair is covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_pair.is_empty()
+    }
+
+    /// Sparsity: `max_{(s,t)} |P(s, t)|` (Definition 2.1's `α`).
+    pub fn sparsity(&self) -> usize {
+        self.per_pair.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of stored paths.
+    pub fn total_paths(&self) -> usize {
+        self.per_pair.values().map(Vec::len).sum()
+    }
+
+    /// Whether every pair's candidate count is at most
+    /// `alpha + cut_bound(s, t)` for a caller-supplied cut function —
+    /// checks `(α + cut_G)`-sparsity per Definition 2.1.
+    pub fn is_cut_sparse(&self, alpha: usize, mut cut_bound: impl FnMut(VertexId, VertexId) -> usize) -> bool {
+        self.per_pair
+            .iter()
+            .all(|(&(s, t), ps)| ps.len() <= alpha + cut_bound(s, t))
+    }
+
+    /// Union of two path systems (used by the Section 7 completion-time
+    /// construction, which unions per-hop-scale samples).
+    pub fn union(&self, other: &PathSystem) -> PathSystem {
+        let mut out = self.clone();
+        for paths in other.per_pair.values() {
+            for p in paths {
+                out.insert(p.clone());
+            }
+        }
+        out
+    }
+
+    /// Removes all paths crossing edge `e` (used for failure experiments),
+    /// returning the number of removed paths. Pairs may become empty and
+    /// are then dropped entirely.
+    pub fn remove_paths_through(&mut self, e: ssor_graph::EdgeId) -> usize {
+        let mut removed = 0;
+        self.per_pair.retain(|_, paths| {
+            let before = paths.len();
+            paths.retain(|p| !p.contains_edge(e));
+            removed += before - paths.len();
+            !paths.is_empty()
+        });
+        removed
+    }
+
+    /// Restriction to paths with at most `max_hop` hops; pairs left without
+    /// candidates are dropped.
+    pub fn with_hop_cap(&self, max_hop: usize) -> PathSystem {
+        let mut out = PathSystem::new();
+        for paths in self.per_pair.values() {
+            for p in paths {
+                if p.hop() <= max_hop {
+                    out.insert(p.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates every path against `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.per_pair.iter().all(|(&(s, t), paths)| {
+            paths.iter().all(|p| {
+                p.source() == s && p.target() == t && p.is_valid(g) && p.is_simple()
+            })
+        })
+    }
+
+    /// Read-only view of the underlying map (for the flow solvers).
+    pub fn as_map(&self) -> &BTreeMap<(VertexId, VertexId), Vec<Path>> {
+        &self.per_pair
+    }
+
+    /// Maximum hop length over all stored paths (global dilation bound).
+    pub fn max_hop(&self) -> usize {
+        self.per_pair
+            .values()
+            .flat_map(|ps| ps.iter().map(Path::hop))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssor_graph::generators;
+
+    fn ring_system() -> (Graph, PathSystem) {
+        let g = generators::ring(6);
+        let mut ps = PathSystem::new();
+        ps.insert(Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        ps.insert(Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        ps.insert(Path::from_vertices(&g, &[1, 2]).unwrap());
+        (g, ps)
+    }
+
+    #[test]
+    fn insert_dedups_identical_paths() {
+        let (g, mut ps) = ring_system();
+        let dup = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
+        assert!(!ps.insert(dup));
+        assert_eq!(ps.paths(0, 3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sparsity_and_counts() {
+        let (_, ps) = ring_system();
+        assert_eq!(ps.sparsity(), 2);
+        assert_eq!(ps.total_paths(), 3);
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "simple")]
+    fn rejects_non_simple_paths() {
+        let g = generators::ring(4);
+        let walk = Path::from_vertices(&g, &[0, 1, 0, 1]).unwrap();
+        PathSystem::new().insert(walk);
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let (g, ps) = ring_system();
+        let mut other = PathSystem::new();
+        other.insert(Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap()); // dup
+        other.insert(Path::from_vertices(&g, &[2, 3]).unwrap()); // new
+        let u = ps.union(&other);
+        assert_eq!(u.total_paths(), 4);
+    }
+
+    #[test]
+    fn remove_paths_through_edge() {
+        let (g, mut ps) = ring_system();
+        // Edge 0 connects ring vertices 0-1; it is on path 0-1-2-3 and 1-2? no:
+        // path 1-2 uses edge (1,2) which is edge id 1.
+        let removed = ps.remove_paths_through(0);
+        assert_eq!(removed, 1);
+        assert_eq!(ps.paths(0, 3).unwrap().len(), 1);
+        let _ = g;
+    }
+
+    #[test]
+    fn hop_cap_restricts() {
+        let (_, ps) = ring_system();
+        let capped = ps.with_hop_cap(1);
+        assert_eq!(capped.total_paths(), 1);
+        assert!(capped.paths(0, 3).is_none());
+    }
+
+    #[test]
+    fn cut_sparsity_check() {
+        let (_, ps) = ring_system();
+        // Every pair on a ring has cut 2, so alpha = 0 suffices.
+        assert!(ps.is_cut_sparse(0, |_, _| 2));
+        assert!(!ps.is_cut_sparse(0, |_, _| 1));
+        assert!(ps.is_cut_sparse(2, |_, _| 0));
+    }
+
+    #[test]
+    fn validity() {
+        let (g, ps) = ring_system();
+        assert!(ps.is_valid(&g));
+        assert_eq!(ps.max_hop(), 3);
+    }
+}

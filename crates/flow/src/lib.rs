@@ -1,0 +1,48 @@
+//! # ssor-flow
+//!
+//! Multicommodity-flow substrate for the `ssor` workspace (reproduction of
+//! *Sparse Semi-Oblivious Routing: Few Random Paths Suffice*, PODC 2023).
+//!
+//! Provides the objects of Section 4 of the paper and the LP machinery the
+//! semi-oblivious Stage 4 needs:
+//!
+//! * [`Demand`] — demand matrices (Definition 2.2): arbitrary, integral,
+//!   `{0,1}`, permutation; hypercube adversaries;
+//! * [`Routing`] / [`IntegralRouting`] — per-pair path distributions with
+//!   congestion (`cong`) and dilation (`dil`) exactly as defined in the
+//!   paper;
+//! * [`mincong`] — Frank–Wolfe min-congestion solver with dual
+//!   certificates, both restricted to a candidate path system (Stage-4 rate
+//!   adaptation) and unrestricted (offline fractional OPT);
+//! * [`lp`] — a small dense two-phase simplex used to cross-validate the
+//!   Frank–Wolfe solver exactly;
+//! * [`rounding`] — the Lemma 6.3 randomized rounding plus local search;
+//! * [`integral_opt`] — exact integral optima on tiny instances.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssor_flow::{mincong, Demand};
+//! use ssor_graph::generators;
+//!
+//! let g = generators::ring(6);
+//! let d = Demand::from_pairs(&[(0, 3)]);
+//! let sol = mincong::min_congestion_unrestricted(&g, &d, &Default::default());
+//! // One unit across a 6-cycle splits over both sides: congestion 1/2.
+//! assert!((sol.congestion - 0.5).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decompose;
+mod demand;
+pub mod integral_opt;
+pub mod lp;
+pub mod mincong;
+pub mod rounding;
+mod routing;
+
+pub use demand::Demand;
+pub use mincong::{MinCongSolution, SolveOptions};
+pub use routing::{IntegralRouting, Routing, WeightedPath};

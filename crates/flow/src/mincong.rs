@@ -1,0 +1,519 @@
+//! Minimum-congestion multicommodity routing.
+//!
+//! Two uses in the reproduction:
+//!
+//! 1. **Stage-4 rate adaptation** (Definition 5.1): given the sparse path
+//!    system `P` and the revealed demand, compute
+//!    `cong_R(P, d) = min_{R on P} cong(R, d)` — a packing LP over the
+//!    candidate paths.
+//! 2. **Offline OPT** (`opt_{G,R}(d)`, Section 4): the same LP over *all*
+//!    simple paths, solved with a shortest-path (column-generation) oracle.
+//!
+//! Both are handled by one Frank–Wolfe solver on the softmax (log-sum-exp)
+//! smoothing of the max-congestion objective. Every run also produces a
+//! *dual certificate*: for any nonnegative edge weights `w`,
+//!
+//! ```text
+//! OPT >= sum_{s,t} d(s,t) * min_{p in paths(s,t)} w(p) / sum_e w_e ,
+//! ```
+//!
+//! because a congestion-λ routing satisfies
+//! `sum_e w_e * load_e <= λ * sum_e w_e` while every unit of demand pays at
+//! least the min-weight path. The solver reports the best such bound seen,
+//! so callers can verify the optimality gap of every number we report.
+
+use crate::demand::Demand;
+use crate::routing::Routing;
+use ssor_graph::shortest_path::dijkstra_tree;
+use ssor_graph::{Graph, Path, VertexId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of a min-congestion solve.
+#[derive(Debug, Clone)]
+pub struct MinCongSolution {
+    /// The (fractional) routing achieving `congestion`.
+    pub routing: Routing,
+    /// Primal value: max edge load of `routing` on the demand.
+    pub congestion: f64,
+    /// Best dual lower bound on the optimum over the oracle's path space.
+    pub lower_bound: f64,
+    /// Frank–Wolfe iterations performed.
+    pub iterations: usize,
+}
+
+impl MinCongSolution {
+    /// Multiplicative optimality gap `congestion / lower_bound`
+    /// (`1.0` means provably optimal; `inf` if the bound is zero).
+    pub fn gap(&self) -> f64 {
+        if self.lower_bound <= 0.0 {
+            if self.congestion <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.congestion / self.lower_bound
+        }
+    }
+}
+
+/// Oracle answering "cheapest usable path per pair" under edge weights.
+///
+/// Restricting the oracle restricts the LP: candidate-set oracles give the
+/// semi-oblivious Stage-4 problem, the all-paths oracle gives offline OPT.
+pub trait PathOracle {
+    /// For each pair `(s, t)`, the minimum-weight usable path and its
+    /// weight under `w` (indexed by edge id). Pairs are distinct.
+    fn best_paths(&mut self, pairs: &[(VertexId, VertexId)], w: &[f64]) -> Vec<(Path, f64)>;
+}
+
+/// Oracle over an explicit candidate set per pair (the path system).
+#[derive(Debug)]
+pub struct CandidateOracle<'a> {
+    candidates: &'a BTreeMap<(VertexId, VertexId), Vec<Path>>,
+}
+
+impl<'a> CandidateOracle<'a> {
+    /// Creates the oracle; every queried pair must have at least one
+    /// candidate.
+    pub fn new(candidates: &'a BTreeMap<(VertexId, VertexId), Vec<Path>>) -> Self {
+        CandidateOracle { candidates }
+    }
+}
+
+impl PathOracle for CandidateOracle<'_> {
+    fn best_paths(&mut self, pairs: &[(VertexId, VertexId)], w: &[f64]) -> Vec<(Path, f64)> {
+        pairs
+            .iter()
+            .map(|&(s, t)| {
+                let cands = self
+                    .candidates
+                    .get(&(s, t))
+                    .unwrap_or_else(|| panic!("no candidate paths for pair ({s}, {t})"));
+                assert!(!cands.is_empty(), "empty candidate set for ({s}, {t})");
+                let mut best: Option<(usize, f64)> = None;
+                for (i, p) in cands.iter().enumerate() {
+                    let cost: f64 = p.edges().iter().map(|&e| w[e as usize]).sum();
+                    if best.map_or(true, |(_, bc)| cost < bc) {
+                        best = Some((i, cost));
+                    }
+                }
+                let (i, cost) = best.unwrap();
+                (cands[i].clone(), cost)
+            })
+            .collect()
+    }
+}
+
+/// Oracle over *all* simple paths via Dijkstra (column generation). Groups
+/// queries by source so each distinct source costs one Dijkstra run.
+#[derive(Debug)]
+pub struct AllPathsOracle<'a> {
+    graph: &'a Graph,
+}
+
+impl<'a> AllPathsOracle<'a> {
+    /// Creates an oracle over the whole graph.
+    pub fn new(graph: &'a Graph) -> Self {
+        AllPathsOracle { graph }
+    }
+}
+
+impl PathOracle for AllPathsOracle<'_> {
+    fn best_paths(&mut self, pairs: &[(VertexId, VertexId)], w: &[f64]) -> Vec<(Path, f64)> {
+        let mut by_source: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
+        for (i, &(s, _)) in pairs.iter().enumerate() {
+            by_source.entry(s).or_default().push(i);
+        }
+        let mut out: Vec<Option<(Path, f64)>> = vec![None; pairs.len()];
+        for (s, idxs) in by_source {
+            let tree = dijkstra_tree(self.graph, s, &|e| w[e as usize]);
+            for i in idxs {
+                let t = pairs[i].1;
+                let p = tree
+                    .path_to(self.graph, t)
+                    .unwrap_or_else(|| panic!("graph disconnected between {s} and {t}"));
+                out[i] = Some((p, tree.dist_to(t)));
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+/// Options for the Frank–Wolfe solver.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Target multiplicative optimality gap (stop when `gap <= 1 + eps`).
+    pub eps: f64,
+    /// Hard cap on iterations.
+    pub max_iters: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { eps: 0.05, max_iters: 600 }
+    }
+}
+
+impl SolveOptions {
+    /// Preset with a custom gap target.
+    pub fn with_eps(eps: f64) -> Self {
+        SolveOptions { eps, ..Default::default() }
+    }
+}
+
+/// Per-pair convex combination over discovered paths.
+struct PairState {
+    pair: (VertexId, VertexId),
+    demand: f64,
+    paths: Vec<Path>,
+    weights: Vec<f64>,
+    index: HashMap<Vec<u32>, usize>,
+}
+
+impl PairState {
+    fn ensure_path(&mut self, p: &Path) -> usize {
+        let key = p.edges().to_vec();
+        if let Some(&i) = self.index.get(&key) {
+            i
+        } else {
+            let i = self.paths.len();
+            self.index.insert(key, i);
+            self.paths.push(p.clone());
+            self.weights.push(0.0);
+            i
+        }
+    }
+}
+
+/// Softmax value `max + ln(sum exp(beta*(load - max)))/beta` of edge loads.
+fn softmax(loads: &[f64], beta: f64) -> f64 {
+    let mx = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let s: f64 = loads.iter().map(|&l| ((l - mx) * beta).exp()).sum();
+    mx + s.ln() / beta
+}
+
+/// Solves `min max_e load_e` over routings whose per-pair paths come from
+/// `oracle`, routing the full demand `d` on graph `g`.
+///
+/// Returns the empty solution with congestion 0 for an empty demand.
+///
+/// # Panics
+///
+/// Panics if the oracle cannot produce a path for some demanded pair.
+pub fn min_congestion(
+    g: &Graph,
+    d: &Demand,
+    oracle: &mut dyn PathOracle,
+    opts: &SolveOptions,
+) -> MinCongSolution {
+    let pairs: Vec<(VertexId, VertexId)> = d.support();
+    if pairs.is_empty() {
+        return MinCongSolution {
+            routing: Routing::new(),
+            congestion: 0.0,
+            lower_bound: 0.0,
+            iterations: 0,
+        };
+    }
+    let m = g.m();
+    let demands: Vec<f64> = pairs.iter().map(|&(s, t)| d.get(s, t)).collect();
+
+    // Initialize with the min-hop best response (all weights 1).
+    let ones = vec![1.0; m];
+    let first = oracle.best_paths(&pairs, &ones);
+    let mut states: Vec<PairState> = pairs
+        .iter()
+        .zip(demands.iter())
+        .map(|(&pair, &dem)| PairState {
+            pair,
+            demand: dem,
+            paths: Vec::new(),
+            weights: Vec::new(),
+            index: HashMap::new(),
+        })
+        .collect();
+    let mut loads = vec![0.0f64; m];
+    let mut lower_bound = 0.0f64;
+    {
+        // Dual bound from the all-ones weights.
+        let num: f64 = first
+            .iter()
+            .zip(demands.iter())
+            .map(|((_, c), dem)| c * dem)
+            .sum();
+        lower_bound = lower_bound.max(num / m as f64);
+    }
+    for (st, (p, _)) in states.iter_mut().zip(first.iter()) {
+        let i = st.ensure_path(p);
+        st.weights[i] = 1.0;
+        for &e in p.edges() {
+            loads[e as usize] += st.demand;
+        }
+    }
+
+    // Staged smoothing: start with a coarse softmax (fast global progress)
+    // and sharpen whenever the primal stalls, down to the target accuracy.
+    // A sharp softmax from the start makes Frank–Wolfe crawl: the gradient
+    // concentrates on the single most-congested edge and only one path
+    // shifts per iteration.
+    let mut stage_eps = 0.5f64;
+    let eps_floor = (opts.eps * 0.25).min(0.5);
+    let mut stall = 0usize;
+    let mut prev_ub = f64::INFINITY;
+
+    let mut iterations = 0;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        let ub = loads.iter().cloned().fold(0.0, f64::max);
+        if ub <= 0.0 {
+            break;
+        }
+        // Stall detection: sharpen the smoothing when the primal stops
+        // improving at the current stage.
+        if ub > prev_ub * 0.9995 {
+            stall += 1;
+            if stall >= 15 && stage_eps > eps_floor {
+                stage_eps *= 0.5;
+                stall = 0;
+            }
+        } else {
+            stall = 0;
+        }
+        prev_ub = ub;
+        // Smoothing: approximation error ln(m)/beta <= stage_eps/4 * ub.
+        let beta = (m as f64).ln().max(1.0) / (0.25 * stage_eps * ub);
+        // Softmax gradient weights (scaled to max 1 for numerical safety).
+        let mx = ub;
+        let w: Vec<f64> = loads.iter().map(|&l| ((l - mx) * beta).exp()).collect();
+        let wsum: f64 = w.iter().sum();
+
+        // Best response under w.
+        let best = oracle.best_paths(&pairs, &w);
+
+        // Dual certificate from these weights.
+        let num: f64 = best
+            .iter()
+            .zip(demands.iter())
+            .map(|((_, c), dem)| c * dem)
+            .sum();
+        lower_bound = lower_bound.max(num / wsum);
+
+        if ub <= (1.0 + opts.eps) * lower_bound {
+            break;
+        }
+
+        // Loads of the pure best-response routing.
+        let mut loads_y = vec![0.0f64; m];
+        for ((p, _), dem) in best.iter().zip(demands.iter()) {
+            for &e in p.edges() {
+                loads_y[e as usize] += dem;
+            }
+        }
+
+        // Exact line search on the softmax potential (convex in gamma).
+        let phi = |gamma: f64| -> f64 {
+            let mixed: Vec<f64> = loads
+                .iter()
+                .zip(loads_y.iter())
+                .map(|(&a, &b)| (1.0 - gamma) * a + gamma * b)
+                .collect();
+            softmax(&mixed, beta)
+        };
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        for _ in 0..30 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if phi(m1) <= phi(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        let gamma = 0.5 * (lo + hi);
+        if gamma <= 1e-12 {
+            // No progress along this direction at the current smoothing:
+            // sharpen if we can, otherwise we are done.
+            if stage_eps > eps_floor {
+                stage_eps *= 0.5;
+                stall = 0;
+                continue;
+            }
+            break;
+        }
+
+        // Apply the update to per-pair weights and the aggregate loads.
+        for st in states.iter_mut() {
+            for wgt in st.weights.iter_mut() {
+                *wgt *= 1.0 - gamma;
+            }
+        }
+        for (st, (p, _)) in states.iter_mut().zip(best.iter()) {
+            let i = st.ensure_path(p);
+            st.weights[i] += gamma;
+        }
+        for e in 0..m {
+            loads[e] = (1.0 - gamma) * loads[e] + gamma * loads_y[e];
+        }
+    }
+
+    // Assemble the routing.
+    let mut routing = Routing::new();
+    for st in &states {
+        let dist: Vec<(Path, f64)> = st
+            .paths
+            .iter()
+            .cloned()
+            .zip(st.weights.iter().cloned())
+            .filter(|(_, w)| *w > 1e-15)
+            .collect();
+        routing.set_distribution(st.pair.0, st.pair.1, dist);
+    }
+    let congestion = routing.congestion(g, d);
+    MinCongSolution { routing, congestion, lower_bound, iterations }
+}
+
+/// Stage-4 rate adaptation: `cong_R(P, d)` over the candidate sets
+/// (Definition 5.1).
+///
+/// # Panics
+///
+/// Panics if some demanded pair has no candidate path.
+pub fn min_congestion_restricted(
+    g: &Graph,
+    d: &Demand,
+    candidates: &BTreeMap<(VertexId, VertexId), Vec<Path>>,
+    opts: &SolveOptions,
+) -> MinCongSolution {
+    let mut oracle = CandidateOracle::new(candidates);
+    min_congestion(g, d, &mut oracle, opts)
+}
+
+/// Offline fractional optimum `opt_{G,R}(d)` over all paths (Section 4).
+pub fn min_congestion_unrestricted(g: &Graph, d: &Demand, opts: &SolveOptions) -> MinCongSolution {
+    let mut oracle = AllPathsOracle::new(g);
+    min_congestion(g, d, &mut oracle, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssor_graph::generators;
+
+    fn opts() -> SolveOptions {
+        SolveOptions { eps: 0.02, max_iters: 2000 }
+    }
+
+    #[test]
+    fn empty_demand_is_trivial() {
+        let g = generators::ring(4);
+        let sol = min_congestion_unrestricted(&g, &Demand::new(), &opts());
+        assert_eq!(sol.congestion, 0.0);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn single_pair_on_ring_splits_both_ways() {
+        // Ring of 6: one unit 0 -> 3 can split into two disjoint 3-hop
+        // paths, halving congestion.
+        let g = generators::ring(6);
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(
+            (sol.congestion - 0.5).abs() < 0.02,
+            "congestion = {}",
+            sol.congestion
+        );
+        assert!(sol.gap() <= 1.1, "gap = {}", sol.gap());
+        assert!(sol.routing.is_valid(&g));
+    }
+
+    #[test]
+    fn parallel_edges_split_flow() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let d = Demand::from_pairs(&[(0, 1)]).scaled(3.0);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!((sol.congestion - 1.0).abs() < 0.05, "congestion = {}", sol.congestion);
+    }
+
+    #[test]
+    fn restricted_single_candidate_is_forced() {
+        let g = generators::ring(6);
+        let mut cands = BTreeMap::new();
+        let p = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
+        cands.insert((0u32, 3u32), vec![p]);
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_restricted(&g, &d, &cands, &opts());
+        assert!((sol.congestion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_two_candidates_split() {
+        let g = generators::ring(6);
+        let mut cands = BTreeMap::new();
+        cands.insert(
+            (0u32, 3u32),
+            vec![
+                Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap(),
+                Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap(),
+            ],
+        );
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_restricted(&g, &d, &cands, &opts());
+        assert!((sol.congestion - 0.5).abs() < 0.02, "congestion = {}", sol.congestion);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_primal() {
+        let g = generators::grid(3, 3);
+        let mut rng = rand::rngs::mock::StepRng::new(7, 13);
+        let _ = &mut rng;
+        let d = Demand::from_pairs(&[(0, 8), (2, 6), (1, 7), (3, 5)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(sol.lower_bound <= sol.congestion + 1e-9);
+        assert!(sol.gap() < 1.25, "gap = {}", sol.gap());
+    }
+
+    #[test]
+    fn congestion_matches_flow_lower_bound_on_star() {
+        // Star: all paths go through the center; k demands from leaf i to
+        // leaf i+1 forces congestion >= ... each pair uses 2 edges, and the
+        // center's incident edges each see the demands of their leaf.
+        let g = generators::star(6);
+        let d = Demand::from_pairs(&[(1, 2), (3, 4), (5, 6)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        // Unique routing: each pair uses its two leaf edges once.
+        assert!((sol.congestion - 1.0).abs() < 1e-6);
+        assert!(sol.gap() < 1.05);
+    }
+
+    #[test]
+    fn many_commodities_on_hypercube_nearly_optimal() {
+        let g = generators::hypercube(4);
+        let d = Demand::hypercube_complement(4);
+        let sol = min_congestion_unrestricted(&g, &d, &SolveOptions { eps: 0.1, max_iters: 3000 });
+        // Complement demand on Q4: every pair at distance 4; total flow
+        // >= 16*4 = 64 over 32 edges => congestion >= 2. An optimal routing
+        // achieves exactly 2 (edge-disjoint dimension-ordered batches).
+        assert!(sol.congestion < 2.3, "congestion = {}", sol.congestion);
+        assert!(sol.lower_bound >= 1.9, "lb = {}", sol.lower_bound);
+    }
+
+    #[test]
+    fn routing_routes_full_demand() {
+        let g = generators::grid(3, 4);
+        let d = Demand::from_pairs(&[(0, 11), (4, 7)]).scaled(2.0);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(sol.routing.covers(&d));
+        assert!(sol.routing.is_valid(&g));
+        // Total flow conservation: sum of edge loads equals sum over pairs
+        // of demand * expected path length; just sanity-check positivity.
+        let loads = sol.routing.edge_loads(&g, &d);
+        let total: f64 = loads.iter().sum();
+        assert!(total >= d.size() * 3.0 - 1e-6, "paths are >= 3 hops here");
+    }
+}

@@ -1,0 +1,388 @@
+//! Routings: per-pair distributions over paths, plus congestion and
+//! dilation (Section 4 of the paper).
+
+use crate::demand::Demand;
+use ssor_graph::{Graph, Path, VertexId};
+use std::collections::BTreeMap;
+
+/// A path together with its probability mass within `R(s, t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPath {
+    /// The path (endpoints must match the pair this entry belongs to).
+    pub path: Path,
+    /// Probability mass; entries of one pair sum to 1.
+    pub weight: f64,
+}
+
+/// A routing `R = {R(s, t)}`: for each pair in its domain, a distribution
+/// over `(s, t)`-paths (Section 4). Routing a demand `d` assigns flow
+/// `d(s, t) * weight(p)` to each path `p` in `R(s, t)`.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_flow::{Demand, Routing};
+/// use ssor_graph::{Graph, Path};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// let mut r = Routing::new();
+/// r.set_distribution(
+///     0,
+///     2,
+///     vec![
+///         (Path::from_vertices(&g, &[0, 1, 2]).unwrap(), 0.5),
+///         (Path::from_vertices(&g, &[0, 2]).unwrap(), 0.5),
+///     ],
+/// );
+/// let d = Demand::from_pairs(&[(0, 2)]);
+/// assert_eq!(r.congestion(&g, &d), 0.5);
+/// assert_eq!(r.dilation(&d), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Routing {
+    per_pair: BTreeMap<(VertexId, VertexId), Vec<WeightedPath>>,
+}
+
+impl Routing {
+    /// The empty routing (no pairs).
+    pub fn new() -> Self {
+        Routing::default()
+    }
+
+    /// Sets the distribution for pair `(s, t)`, normalizing the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any path does not run from `s` to `t`, if any weight is
+    /// negative, or if all weights are zero.
+    pub fn set_distribution(&mut self, s: VertexId, t: VertexId, paths: Vec<(Path, f64)>) {
+        assert!(!paths.is_empty(), "distribution needs at least one path");
+        let total: f64 = paths.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let entry: Vec<WeightedPath> = paths
+            .into_iter()
+            .filter(|(_, w)| *w > 0.0)
+            .map(|(path, w)| {
+                assert!(w >= 0.0, "negative path weight");
+                assert_eq!(path.source(), s, "path source mismatch");
+                assert_eq!(path.target(), t, "path target mismatch");
+                WeightedPath { path, weight: w / total }
+            })
+            .collect();
+        self.per_pair.insert((s, t), entry);
+    }
+
+    /// Routes the whole pair on a single path.
+    pub fn set_single_path(&mut self, path: Path) {
+        let (s, t) = (path.source(), path.target());
+        self.set_distribution(s, t, vec![(path, 1.0)]);
+    }
+
+    /// The distribution for `(s, t)`, if defined.
+    pub fn distribution(&self, s: VertexId, t: VertexId) -> Option<&[WeightedPath]> {
+        self.per_pair.get(&(s, t)).map(|v| v.as_slice())
+    }
+
+    /// Pairs with a defined distribution.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.per_pair.keys().copied()
+    }
+
+    /// Number of pairs with a defined distribution.
+    pub fn len(&self) -> usize {
+        self.per_pair.len()
+    }
+
+    /// Whether no pair is defined.
+    pub fn is_empty(&self) -> bool {
+        self.per_pair.is_empty()
+    }
+
+    /// Whether the routing covers the support of `d`.
+    pub fn covers(&self, d: &Demand) -> bool {
+        d.support().iter().all(|k| self.per_pair.contains_key(k))
+    }
+
+    /// Per-edge load when routing `d` (`cong(R, d, e)` for every `e`).
+    ///
+    /// Pairs of `d` without a distribution contribute nothing; use
+    /// [`Routing::covers`] to check coverage first.
+    pub fn edge_loads(&self, g: &Graph, d: &Demand) -> Vec<f64> {
+        let mut load = vec![0.0; g.m()];
+        for ((s, t), w) in d.iter() {
+            if let Some(dist) = self.per_pair.get(&(s, t)) {
+                for wp in dist {
+                    for &e in wp.path.edges() {
+                        load[e as usize] += w * wp.weight;
+                    }
+                }
+            }
+        }
+        load
+    }
+
+    /// `cong(R, d) = max_e cong(R, d, e)` (0 for an empty demand).
+    pub fn congestion(&self, g: &Graph, d: &Demand) -> f64 {
+        self.edge_loads(g, d).into_iter().fold(0.0, f64::max)
+    }
+
+    /// `dil(R, d)`: maximum hop length over paths receiving positive weight
+    /// on the support of `d` (0 for an empty demand).
+    pub fn dilation(&self, d: &Demand) -> usize {
+        let mut best = 0;
+        for ((s, t), _) in d.iter() {
+            if let Some(dist) = self.per_pair.get(&(s, t)) {
+                for wp in dist {
+                    if wp.weight > 0.0 {
+                        best = best.max(wp.path.hop());
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Checks structural validity against a graph: every path valid and
+    /// simple, per-pair weights summing to 1.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.per_pair.iter().all(|(&(s, t), dist)| {
+            let total: f64 = dist.iter().map(|wp| wp.weight).sum();
+            (total - 1.0).abs() < 1e-6
+                && dist.iter().all(|wp| {
+                    wp.path.source() == s
+                        && wp.path.target() == t
+                        && wp.path.is_valid(g)
+                        && wp.path.is_simple()
+                })
+        })
+    }
+
+    /// Merges two routings on *disjoint* demands `d1`, `d2` into a routing
+    /// for `d1 + d2` (Lemma 5.15, the demand-sum lemma): on a pair carried
+    /// by both, the distributions are mixed proportionally to the demands.
+    pub fn demand_weighted_merge(r1: &Routing, d1: &Demand, r2: &Routing, d2: &Demand) -> Routing {
+        let mut out = Routing::new();
+        let d = d1.plus(d2);
+        for ((s, t), total) in d.iter() {
+            let w1 = d1.get(s, t);
+            let w2 = d2.get(s, t);
+            let mut mix: Vec<(Path, f64)> = Vec::new();
+            if w1 > 0.0 {
+                if let Some(dist) = r1.distribution(s, t) {
+                    mix.extend(dist.iter().map(|wp| (wp.path.clone(), wp.weight * w1 / total)));
+                }
+            }
+            if w2 > 0.0 {
+                if let Some(dist) = r2.distribution(s, t) {
+                    mix.extend(dist.iter().map(|wp| (wp.path.clone(), wp.weight * w2 / total)));
+                }
+            }
+            if !mix.is_empty() {
+                out.set_distribution(s, t, mix);
+            }
+        }
+        out
+    }
+}
+
+/// An *integral* routing on a demand `d`: for each pair, a multiset of
+/// paths, one per unit of (integer) demand. This realizes "R is integral on
+/// d" from Section 4 without fractional bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntegralRouting {
+    per_pair: BTreeMap<(VertexId, VertexId), Vec<Path>>,
+}
+
+impl IntegralRouting {
+    /// Empty integral routing.
+    pub fn new() -> Self {
+        IntegralRouting::default()
+    }
+
+    /// Assigns the list of unit-demand paths for pair `(s, t)`; the list
+    /// length must equal `d(s, t)` when routing demand `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any path has wrong endpoints.
+    pub fn set_paths(&mut self, s: VertexId, t: VertexId, paths: Vec<Path>) {
+        for p in &paths {
+            assert_eq!(p.source(), s);
+            assert_eq!(p.target(), t);
+        }
+        self.per_pair.insert((s, t), paths);
+    }
+
+    /// The unit paths for `(s, t)`.
+    pub fn paths(&self, s: VertexId, t: VertexId) -> Option<&[Path]> {
+        self.per_pair.get(&(s, t)).map(|v| v.as_slice())
+    }
+
+    /// Pairs covered.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.per_pair.keys().copied()
+    }
+
+    /// Per-edge integer load.
+    pub fn edge_loads(&self, g: &Graph) -> Vec<u64> {
+        let mut load = vec![0u64; g.m()];
+        for paths in self.per_pair.values() {
+            for p in paths {
+                for &e in p.edges() {
+                    load[e as usize] += 1;
+                }
+            }
+        }
+        load
+    }
+
+    /// Maximum edge congestion.
+    pub fn congestion(&self, g: &Graph) -> u64 {
+        self.edge_loads(g).into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum hop length over all paths.
+    pub fn dilation(&self) -> usize {
+        self.per_pair
+            .values()
+            .flat_map(|ps| ps.iter().map(|p| p.hop()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether this integrally routes `d`: the path count of each pair
+    /// equals its (integer) demand.
+    pub fn routes(&self, d: &Demand) -> bool {
+        if !d.is_integral() {
+            return false;
+        }
+        d.iter().all(|((s, t), w)| {
+            let cnt = self.paths(s, t).map_or(0, |p| p.len());
+            cnt as f64 == w.round()
+        })
+    }
+
+    /// View as a fractional [`Routing`] (uniform over the multiset).
+    pub fn as_fractional(&self) -> Routing {
+        let mut r = Routing::new();
+        for (&(s, t), paths) in &self.per_pair {
+            if !paths.is_empty() {
+                r.set_distribution(s, t, paths.iter().map(|p| (p.clone(), 1.0)).collect());
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssor_graph::generators;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn congestion_of_split_routing() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_distribution(
+            0,
+            2,
+            vec![
+                (Path::from_vertices(&g, &[0, 1, 2]).unwrap(), 1.0),
+                (Path::from_vertices(&g, &[0, 2]).unwrap(), 3.0),
+            ],
+        );
+        let d = Demand::from_pairs(&[(0, 2)]);
+        // Weights normalize to 0.25 / 0.75.
+        let loads = r.edge_loads(&g, &d);
+        assert!((loads[0] - 0.25).abs() < 1e-12);
+        assert!((loads[1] - 0.25).abs() < 1e-12);
+        assert!((loads[2] - 0.75).abs() < 1e-12);
+        assert!((r.congestion(&g, &d) - 0.75).abs() < 1e-12);
+        assert_eq!(r.dilation(&d), 2);
+        assert!(r.is_valid(&g));
+    }
+
+    #[test]
+    fn congestion_scales_linearly_with_demand() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_single_path(Path::from_vertices(&g, &[0, 1, 2]).unwrap());
+        let d = Demand::from_pairs(&[(0, 2)]);
+        let c1 = r.congestion(&g, &d);
+        let c3 = r.congestion(&g, &d.scaled(3.0));
+        assert!((c3 - 3.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "path source mismatch")]
+    fn set_distribution_validates_endpoints() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_distribution(1, 2, vec![(Path::from_vertices(&g, &[0, 2]).unwrap(), 1.0)]);
+    }
+
+    #[test]
+    fn merge_matches_demand_sum_lemma() {
+        // Lemma 5.15: cong(R, d1 + d2) <= cong(R1, d1) + cong(R2, d2).
+        let g = generators::ring(6);
+        let mut r1 = Routing::new();
+        r1.set_single_path(Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        let mut r2 = Routing::new();
+        r2.set_single_path(Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        let d1 = Demand::from_pairs(&[(0, 3)]);
+        let d2 = Demand::from_pairs(&[(0, 3)]).scaled(2.0);
+        let merged = Routing::demand_weighted_merge(&r1, &d1, &r2, &d2);
+        let d = d1.plus(&d2);
+        let c = merged.congestion(&g, &d);
+        let bound = r1.congestion(&g, &d1) + r2.congestion(&g, &d2);
+        assert!(c <= bound + 1e-9, "c = {c}, bound = {bound}");
+        assert!(merged.is_valid(&g));
+    }
+
+    #[test]
+    fn covers_checks_support() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_single_path(Path::from_vertices(&g, &[0, 2]).unwrap());
+        assert!(r.covers(&Demand::from_pairs(&[(0, 2)])));
+        assert!(!r.covers(&Demand::from_pairs(&[(1, 2)])));
+    }
+
+    #[test]
+    fn integral_routing_roundtrip() {
+        let g = triangle();
+        let mut ir = IntegralRouting::new();
+        ir.set_paths(
+            0,
+            2,
+            vec![
+                Path::from_vertices(&g, &[0, 2]).unwrap(),
+                Path::from_vertices(&g, &[0, 1, 2]).unwrap(),
+            ],
+        );
+        let d = Demand::new()
+            .plus(&Demand::from_pairs(&[(0, 2)]).scaled(2.0));
+        assert!(ir.routes(&d));
+        assert_eq!(ir.congestion(&g), 1);
+        assert_eq!(ir.dilation(), 2);
+        let frac = ir.as_fractional();
+        assert!(frac.is_valid(&g));
+        // Fractional view halves each path's weight.
+        assert!((frac.congestion(&g, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_routing_properties() {
+        let g = triangle();
+        let r = Routing::new();
+        assert!(r.is_empty());
+        assert_eq!(r.congestion(&g, &Demand::new()), 0.0);
+        assert_eq!(r.dilation(&Demand::new()), 0);
+        let ir = IntegralRouting::new();
+        assert_eq!(ir.congestion(&g), 0);
+    }
+}

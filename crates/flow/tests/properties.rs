@@ -1,0 +1,177 @@
+//! Property-based tests for demands, routings, and the min-congestion
+//! solvers — the paper's Section 4/5.4 identities.
+
+use proptest::prelude::*;
+use ssor_flow::mincong::{min_congestion_unrestricted, SolveOptions};
+use ssor_flow::{Demand, Routing};
+use ssor_graph::{generators, Graph, VertexId};
+
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=10, 0.1f64..0.8, any::<u64>()).prop_map(|(n, p, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::erdos_renyi(n, p, &mut rng)
+    })
+}
+
+fn demand_on(n: usize) -> impl Strategy<Value = Demand> {
+    proptest::collection::vec(
+        ((0..n as VertexId), (0..n as VertexId), 0.1f64..5.0),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut d = Demand::new();
+        for (s, t, w) in entries {
+            if s != t {
+                d.add(s, t, w);
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn demand_scaling_is_linear(
+        (g, d) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), demand_on(n))
+        }),
+        c in 0.1f64..4.0,
+    ) {
+        // siz(c * d) = c * siz(d); support preserved.
+        let scaled = d.scaled(c);
+        prop_assert!((scaled.size() - c * d.size()).abs() < 1e-9 * (1.0 + d.size()));
+        prop_assert_eq!(scaled.support_len(), d.support_len());
+        let _ = g;
+    }
+
+    #[test]
+    fn demand_plus_minus_roundtrip(
+        (g, a, b) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), demand_on(n), demand_on(n))
+        }),
+    ) {
+        let sum = a.plus(&b);
+        prop_assert!((sum.size() - (a.size() + b.size())).abs() < 1e-9 * (1.0 + sum.size()));
+        let back = sum.minus_clamped(&b);
+        for ((s, t), w) in a.iter() {
+            prop_assert!((back.get(s, t) - w).abs() < 1e-6, "minus undoes plus");
+        }
+        let _ = g;
+    }
+
+    #[test]
+    fn solver_congestion_within_certified_gap(
+        (g, d) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), demand_on(n))
+        }),
+    ) {
+        prop_assume!(!d.is_empty());
+        let sol = min_congestion_unrestricted(&g, &d, &SolveOptions { eps: 0.1, max_iters: 1500 });
+        // Primal dominates dual.
+        prop_assert!(sol.congestion + 1e-9 >= sol.lower_bound);
+        // Lemma 5.16: siz(d)/m <= cong <= siz(d).
+        prop_assert!(sol.congestion <= d.size() + 1e-6);
+        prop_assert!(sol.congestion >= d.size() / g.m() as f64 - 1e-6);
+        // The routing actually routes d and is structurally valid.
+        prop_assert!(sol.routing.covers(&d));
+        prop_assert!(sol.routing.is_valid(&g));
+    }
+
+    #[test]
+    fn congestion_is_monotone_in_demand(
+        (g, a, b) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), demand_on(n), demand_on(n))
+        }),
+    ) {
+        prop_assume!(!a.is_empty());
+        let sum = a.plus(&b);
+        let opts = SolveOptions { eps: 0.08, max_iters: 1500 };
+        let oa = min_congestion_unrestricted(&g, &a, &opts);
+        let osum = min_congestion_unrestricted(&g, &sum, &opts);
+        // OPT is monotone: certified lower bound of the part cannot exceed
+        // the primal of the whole (allow the solver gap).
+        prop_assert!(oa.lower_bound <= osum.congestion * 1.01 + 1e-6);
+    }
+
+    #[test]
+    fn demand_weighted_merge_satisfies_lemma_5_15(
+        (g, a, b) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), demand_on(n), demand_on(n))
+        }),
+    ) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let opts = SolveOptions { eps: 0.1, max_iters: 800 };
+        let ra = min_congestion_unrestricted(&g, &a, &opts);
+        let rb = min_congestion_unrestricted(&g, &b, &opts);
+        let merged = Routing::demand_weighted_merge(&ra.routing, &a, &rb.routing, &b);
+        let sum = a.plus(&b);
+        let cong = merged.congestion(&g, &sum);
+        prop_assert!(
+            cong <= ra.congestion + rb.congestion + 1e-6,
+            "Lemma 5.15: {} > {} + {}", cong, ra.congestion, rb.congestion
+        );
+    }
+
+    #[test]
+    fn single_path_routing_congestion_counts_exactly(
+        g in connected_graph(),
+        w in 0.5f64..5.0,
+    ) {
+        // Route one pair over one explicit path; every edge of the path
+        // must carry exactly w.
+        let s = 0 as VertexId;
+        let t = (g.n() - 1) as VertexId;
+        prop_assume!(s != t);
+        let p = ssor_graph::shortest_path::bfs_path(&g, s, t).unwrap();
+        prop_assume!(p.hop() >= 1);
+        let mut r = Routing::new();
+        r.set_single_path(p.clone());
+        let mut d = Demand::new();
+        d.set(s, t, w);
+        let loads = r.edge_loads(&g, &d);
+        for &e in p.edges() {
+            prop_assert!((loads[e as usize] - w).abs() < 1e-12);
+        }
+        let total: f64 = loads.iter().sum();
+        prop_assert!((total - w * p.hop() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_rounding_preserves_counts(
+        (g, pairs) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            let pair = ((0..n as VertexId), (0..n as VertexId), 1usize..4);
+            (Just(g), proptest::collection::vec(pair, 1..4))
+        }),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut d = Demand::new();
+        let mut r = Routing::new();
+        for (s, t, c) in pairs {
+            if s == t || d.get(s, t) > 0.0 { continue; }
+            let p = ssor_graph::shortest_path::bfs_path(&g, s, t).unwrap();
+            if p.hop() == 0 { continue; }
+            d.set(s, t, c as f64);
+            r.set_single_path(p);
+        }
+        prop_assume!(!d.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ir = ssor_flow::rounding::sample_integral(&r, &d, &mut rng);
+        prop_assert!(ir.routes(&d));
+        // With single-path support, rounding is deterministic: integral
+        // congestion equals fractional congestion exactly.
+        let frac = r.congestion(&g, &d);
+        prop_assert!((ir.congestion(&g) as f64 - frac).abs() < 1e-9);
+    }
+}

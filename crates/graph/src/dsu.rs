@@ -1,0 +1,110 @@
+//! Disjoint-set union (union-find) with path compression and union by rank.
+
+/// Disjoint-set union over elements `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::dsu::Dsu;
+///
+/// let mut d = Dsu::new(4);
+/// assert!(d.union(0, 1));
+/// assert!(d.union(2, 3));
+/// assert!(!d.union(1, 0)); // already joined
+/// assert!(d.same(0, 1));
+/// assert!(!d.same(0, 2));
+/// assert_eq!(d.components(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Representative of the set containing `x`.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = Dsu::new(3);
+        assert_eq!(d.components(), 3);
+        assert!(!d.same(0, 2));
+        assert_eq!(d.find(1), 1);
+    }
+
+    #[test]
+    fn chain_unions() {
+        let mut d = Dsu::new(5);
+        for i in 0..4 {
+            assert!(d.union(i, i + 1));
+        }
+        assert_eq!(d.components(), 1);
+        assert!(d.same(0, 4));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut d = Dsu::new(2);
+        assert!(d.union(0, 1));
+        assert!(!d.union(0, 1));
+        assert_eq!(d.components(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ssor-graph
+//!
+//! Graph substrate for the `ssor` workspace — the Rust reproduction of
+//! *Sparse Semi-Oblivious Routing: Few Random Paths Suffice* (Zuzic ⓡ
+//! Haeupler ⓡ Roeyskoe, PODC 2023).
+//!
+//! This crate provides everything the routing layers need from a graph
+//! library, implemented from scratch:
+//!
+//! * [`Graph`] — an undirected multigraph with stable edge ids (parallel
+//!   edges model integer capacities, following Section 4 of the paper);
+//! * [`Path`] — walks/simple paths carrying explicit edge ids, with
+//!   [`Path::shortcut`] to reduce walks to simple paths;
+//! * [`generators`] — hypercubes, grids, tori, expanders, Waxman WANs, the
+//!   two-cliques bridge example, and friends;
+//! * [`shortest_path`] — BFS and Dijkstra trees;
+//! * [`maxflow`] — Dinic max-flow for `cut_G(s, t)` (Definition 2.1);
+//! * [`matching`] — Hopcroft–Karp, used by the Lemma 8.1 adversary;
+//! * [`ksp`] — Yen's k-shortest simple paths (SMORE baseline) and
+//!   exhaustive path enumeration for exact small-instance optima;
+//! * [`dsu`] — union–find.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssor_graph::{generators, maxflow, shortest_path};
+//!
+//! let g = generators::hypercube(4);
+//! assert_eq!(shortest_path::hop_distance(&g, 0, 15), 4);
+//! assert_eq!(maxflow::min_cut_value(&g, 0, 15), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dsu;
+pub mod generators;
+mod graph;
+pub mod ksp;
+pub mod matching;
+pub mod maxflow;
+mod path;
+pub mod shortest_path;
+
+pub use graph::{Arc, EdgeId, Graph, VertexId};
+pub use path::Path;

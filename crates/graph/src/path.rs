@@ -1,0 +1,345 @@
+//! Walks and simple paths over a [`Graph`].
+//!
+//! A [`Path`] stores both its vertex sequence and its edge-id sequence so
+//! that parallel edges remain distinguishable — congestion in the paper is a
+//! per-edge quantity, so "which of the parallel edges did the packet take"
+//! matters.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A walk in a graph: alternating vertices and edge ids.
+///
+/// Invariants (enforced by constructors):
+/// * `vertices.len() == edges.len() + 1`,
+/// * edge `edges[i]` connects `vertices[i]` and `vertices[i + 1]`.
+///
+/// A path may be non-simple (repeat vertices) when first constructed — e.g.
+/// the concatenation of two Valiant half-paths — and can be made simple with
+/// [`Path::shortcut`]. The paper's path systems contain simple paths only
+/// (Definition 2.1), so constructors in `ssor-core` shortcut on ingestion.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::{Graph, Path};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let p = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+/// assert_eq!(p.source(), 0);
+/// assert_eq!(p.target(), 2);
+/// assert_eq!(p.hop(), 2);
+/// assert!(p.is_simple());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    vertices: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Crate-internal constructor for callers that guarantee the invariants.
+    pub(crate) fn raw(vertices: Vec<VertexId>, edges: Vec<EdgeId>) -> Self {
+        debug_assert_eq!(vertices.len(), edges.len() + 1);
+        Path { vertices, edges }
+    }
+
+    /// A zero-hop path sitting at `v`.
+    pub fn trivial(v: VertexId) -> Self {
+        Path {
+            vertices: vec![v],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a path from a vertex sequence, choosing the lowest-id edge
+    /// between each pair of consecutive vertices.
+    ///
+    /// Returns `None` if some consecutive pair is not adjacent in `g` or if
+    /// the sequence is empty.
+    pub fn from_vertices(g: &Graph, vertices: &[VertexId]) -> Option<Self> {
+        if vertices.is_empty() {
+            return None;
+        }
+        let mut edges = Vec::with_capacity(vertices.len() - 1);
+        for w in vertices.windows(2) {
+            let e = g
+                .neighbors(w[0])
+                .iter()
+                .filter(|a| a.to == w[1])
+                .map(|a| a.edge)
+                .min()?;
+            edges.push(e);
+        }
+        Some(Path {
+            vertices: vertices.to_vec(),
+            edges,
+        })
+    }
+
+    /// Builds a path starting at `start` following the given edge ids.
+    ///
+    /// Returns `None` if some edge is not incident to the current vertex.
+    pub fn from_edges(g: &Graph, start: VertexId, edges: &[EdgeId]) -> Option<Self> {
+        let mut vertices = vec![start];
+        let mut cur = start;
+        for &e in edges {
+            let (a, b) = g.endpoints(e);
+            let next = if a == cur {
+                b
+            } else if b == cur {
+                a
+            } else {
+                return None;
+            };
+            vertices.push(next);
+            cur = next;
+        }
+        Some(Path {
+            vertices,
+            edges: edges.to_vec(),
+        })
+    }
+
+    /// First vertex of the path.
+    pub fn source(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Last vertex of the path.
+    pub fn target(&self) -> VertexId {
+        *self.vertices.last().unwrap()
+    }
+
+    /// Hop length: number of edges (`hop(p)` in the paper).
+    pub fn hop(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The vertex sequence.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The edge-id sequence.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Whether no vertex repeats.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = HashSet::with_capacity(self.vertices.len());
+        self.vertices.iter().all(|v| seen.insert(*v))
+    }
+
+    /// Whether the path uses edge `e`.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Removes cycles, producing a vertex-simple path with the same
+    /// endpoints. Each surviving edge was an edge of the original walk, so
+    /// shortcutting can only decrease per-edge congestion.
+    pub fn shortcut(&self) -> Path {
+        // Walk the path; when a vertex repeats, excise everything between
+        // its first occurrence and the repeat. A single left-to-right pass
+        // with a "last position" map restarted after each excision is
+        // O(len^2) worst case but our walks are short; use the simple
+        // stack-based algorithm instead, which is linear.
+        let mut stack_v: Vec<VertexId> = Vec::with_capacity(self.vertices.len());
+        let mut stack_e: Vec<EdgeId> = Vec::with_capacity(self.edges.len());
+        let mut pos: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+        stack_v.push(self.vertices[0]);
+        pos.insert(self.vertices[0], 0);
+        for i in 0..self.edges.len() {
+            let v = self.vertices[i + 1];
+            if let Some(&j) = pos.get(&v) {
+                // Unwind back to the first occurrence of v.
+                while stack_v.len() > j + 1 {
+                    let dropped = stack_v.pop().unwrap();
+                    pos.remove(&dropped);
+                    stack_e.pop();
+                }
+            } else {
+                pos.insert(v, stack_v.len());
+                stack_v.push(v);
+                stack_e.push(self.edges[i]);
+            }
+        }
+        Path {
+            vertices: stack_v,
+            edges: stack_e,
+        }
+    }
+
+    /// Concatenates `self` with `other`, which must start where `self` ends.
+    ///
+    /// The result may be non-simple; apply [`Path::shortcut`] if a simple
+    /// path is required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.source() != self.target()`.
+    pub fn concat(&self, other: &Path) -> Path {
+        assert_eq!(
+            self.target(),
+            other.source(),
+            "concat requires matching endpoints"
+        );
+        let mut vertices = self.vertices.clone();
+        vertices.extend_from_slice(&other.vertices[1..]);
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        Path { vertices, edges }
+    }
+
+    /// The reverse path (target to source).
+    pub fn reversed(&self) -> Path {
+        let mut vertices = self.vertices.clone();
+        vertices.reverse();
+        let mut edges = self.edges.clone();
+        edges.reverse();
+        Path { vertices, edges }
+    }
+
+    /// Validates the path against a graph: endpoints of each edge must match
+    /// the vertex sequence.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        if self.vertices.len() != self.edges.len() + 1 {
+            return false;
+        }
+        if self.vertices.iter().any(|&v| (v as usize) >= g.n()) {
+            return false;
+        }
+        self.edges.iter().enumerate().all(|(i, &e)| {
+            if (e as usize) >= g.m() {
+                return false;
+            }
+            let (a, b) = g.endpoints(e);
+            let (u, v) = (self.vertices[i], self.vertices[i + 1]);
+            (a, b) == (u, v) || (a, b) == (v, u)
+        })
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path(")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(5);
+        assert_eq!(p.source(), 5);
+        assert_eq!(p.target(), 5);
+        assert_eq!(p.hop(), 0);
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn from_vertices_roundtrip() {
+        let g = line(5);
+        let p = Path::from_vertices(&g, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(p.edges(), &[1, 2, 3]);
+        assert!(p.is_valid(&g));
+    }
+
+    #[test]
+    fn from_vertices_rejects_non_adjacent() {
+        let g = line(5);
+        assert!(Path::from_vertices(&g, &[0, 2]).is_none());
+    }
+
+    #[test]
+    fn from_edges_roundtrip() {
+        let g = line(4);
+        let p = Path::from_edges(&g, 3, &[2, 1, 0]).unwrap();
+        assert_eq!(p.vertices(), &[3, 2, 1, 0]);
+        assert!(p.is_valid(&g));
+    }
+
+    #[test]
+    fn from_edges_rejects_detached_edge() {
+        let g = line(4);
+        assert!(Path::from_edges(&g, 0, &[2]).is_none());
+    }
+
+    #[test]
+    fn shortcut_removes_cycle() {
+        // Walk 0-1-2-1-0-1-2-3 on a line graph; shortcut should give 0-1-2-3.
+        let g = line(4);
+        let walk = Path::from_vertices(&g, &[0, 1, 2, 1, 0, 1, 2, 3]).unwrap();
+        assert!(!walk.is_simple());
+        let p = walk.shortcut();
+        assert!(p.is_simple());
+        assert_eq!(p.vertices(), &[0, 1, 2, 3]);
+        assert!(p.is_valid(&g));
+    }
+
+    #[test]
+    fn shortcut_preserves_simple_paths() {
+        let g = line(4);
+        let p = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(p.shortcut(), p);
+    }
+
+    #[test]
+    fn shortcut_collapses_to_trivial_when_endpoints_equal() {
+        let g = line(3);
+        let walk = Path::from_vertices(&g, &[0, 1, 0]).unwrap();
+        let p = walk.shortcut();
+        assert_eq!(p.hop(), 0);
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.target(), 0);
+    }
+
+    #[test]
+    fn concat_and_reverse() {
+        let g = line(5);
+        let a = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let b = Path::from_vertices(&g, &[2, 3, 4]).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.vertices(), &[0, 1, 2, 3, 4]);
+        let r = c.reversed();
+        assert_eq!(r.source(), 4);
+        assert_eq!(r.target(), 0);
+        assert!(r.is_valid(&g));
+    }
+
+    #[test]
+    fn parallel_edge_choice_is_lowest_id() {
+        let mut g = Graph::new(2);
+        let e0 = g.add_edge(0, 1);
+        let _e1 = g.add_edge(0, 1);
+        let p = Path::from_vertices(&g, &[0, 1]).unwrap();
+        assert_eq!(p.edges(), &[e0]);
+    }
+
+    #[test]
+    fn validity_detects_wrong_edges() {
+        let g = line(4);
+        // Edge 2 connects 2-3, not 0-1.
+        let p = Path::from_edges(&g, 2, &[2]).unwrap();
+        assert!(p.is_valid(&g));
+        let bogus = Path::from_vertices(&g, &[0, 1]).unwrap();
+        assert!(bogus.is_valid(&g));
+    }
+}

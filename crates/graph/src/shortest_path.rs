@@ -1,0 +1,250 @@
+//! Shortest paths: BFS (hop metric), Dijkstra (arbitrary edge lengths), and
+//! single-source trees reusable across many queries.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// Single-source shortest-path tree: for each vertex, the distance from the
+/// source and the (parent vertex, edge) used to reach it.
+///
+/// Distances are hop counts for [`bfs_tree`] or length sums for
+/// [`dijkstra_tree`]; unreachable vertices have `dist == f64::INFINITY`.
+#[derive(Debug, Clone)]
+pub struct SpTree {
+    /// Source vertex of the tree.
+    pub source: VertexId,
+    /// Distance from source per vertex.
+    pub dist: Vec<f64>,
+    /// `(parent vertex, connecting edge)` per vertex; `None` at the source
+    /// and at unreachable vertices.
+    pub parent: Vec<Option<(VertexId, EdgeId)>>,
+}
+
+impl SpTree {
+    /// Extracts the tree path from the source to `t`, or `None` if `t` is
+    /// unreachable.
+    pub fn path_to(&self, g: &Graph, t: VertexId) -> Option<Path> {
+        if self.dist[t as usize].is_infinite() {
+            return None;
+        }
+        let mut edges_rev: Vec<EdgeId> = Vec::new();
+        let mut cur = t;
+        while cur != self.source {
+            let (p, e) = self.parent[cur as usize]?;
+            edges_rev.push(e);
+            cur = p;
+        }
+        edges_rev.reverse();
+        Path::from_edges(g, self.source, &edges_rev)
+    }
+
+    /// Distance to `t` (`f64::INFINITY` if unreachable).
+    pub fn dist_to(&self, t: VertexId) -> f64 {
+        self.dist[t as usize]
+    }
+}
+
+/// Breadth-first shortest-path tree from `s` (each edge has length 1).
+/// Ties are broken toward lower edge ids, deterministically.
+pub fn bfs_tree(g: &Graph, s: VertexId) -> SpTree {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut q = VecDeque::new();
+    dist[s as usize] = 0.0;
+    q.push_back(s);
+    while let Some(v) = q.pop_front() {
+        for a in g.neighbors(v) {
+            if dist[a.to as usize].is_infinite() {
+                dist[a.to as usize] = dist[v as usize] + 1.0;
+                parent[a.to as usize] = Some((v, a.edge));
+                q.push_back(a.to);
+            }
+        }
+    }
+    SpTree { source: s, dist, parent }
+}
+
+/// Shortest hop-path between `s` and `t`, or `None` if disconnected.
+pub fn bfs_path(g: &Graph, s: VertexId, t: VertexId) -> Option<Path> {
+    if s == t {
+        return Some(Path::trivial(s));
+    }
+    bfs_tree(g, s).path_to(g, t)
+}
+
+/// Hop distance between `s` and `t` (`usize::MAX` if disconnected).
+pub fn hop_distance(g: &Graph, s: VertexId, t: VertexId) -> usize {
+    let d = bfs_tree(g, s).dist[t as usize];
+    if d.is_infinite() {
+        usize::MAX
+    } else {
+        d as usize
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; tie-break on vertex id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Dijkstra shortest-path tree from `s` under per-edge lengths `len`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a negative length is encountered.
+pub fn dijkstra_tree(g: &Graph, s: VertexId, len: &dyn Fn(EdgeId) -> f64) -> SpTree {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[s as usize] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, vertex: s });
+    while let Some(HeapEntry { dist: d, vertex: v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for a in g.neighbors(v) {
+            let w = len(a.edge);
+            debug_assert!(w >= 0.0, "negative edge length on edge {}", a.edge);
+            let nd = d + w;
+            if nd < dist[a.to as usize] {
+                dist[a.to as usize] = nd;
+                parent[a.to as usize] = Some((v, a.edge));
+                heap.push(HeapEntry { dist: nd, vertex: a.to });
+            }
+        }
+    }
+    SpTree { source: s, dist, parent }
+}
+
+/// Shortest path between `s` and `t` under per-edge lengths.
+pub fn dijkstra_path(g: &Graph, s: VertexId, t: VertexId, len: &dyn Fn(EdgeId) -> f64) -> Option<Path> {
+    if s == t {
+        return Some(Path::trivial(s));
+    }
+    dijkstra_tree(g, s, len).path_to(g, t)
+}
+
+/// Eccentricity-based diameter (exact, all-sources BFS). Intended for the
+/// modest graph sizes of the experiments; `O(n * m)`.
+pub fn diameter(g: &Graph) -> usize {
+    let mut best = 0usize;
+    for s in g.vertices() {
+        let t = bfs_tree(g, s);
+        for v in g.vertices() {
+            let d = t.dist[v as usize];
+            if d.is_finite() {
+                best = best.max(d as usize);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_line() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = bfs_path(&g, 0, 3).unwrap();
+        assert_eq!(p.hop(), 3);
+        assert_eq!(hop_distance(&g, 0, 3), 3);
+    }
+
+    #[test]
+    fn bfs_trivial_when_equal() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        assert_eq!(bfs_path(&g, 1, 1).unwrap().hop(), 0);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert!(bfs_path(&g, 0, 2).is_none());
+        assert_eq!(hop_distance(&g, 0, 2), usize::MAX);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_detour() {
+        // 0-1 has length 10; 0-2-1 has total length 2.
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+        let lens = [10.0, 1.0, 1.0];
+        let p = dijkstra_path(&g, 0, 1, &|e| lens[e as usize]).unwrap();
+        assert_eq!(p.vertices(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_with_unit_lengths() {
+        let g = generators::hypercube(4);
+        for (s, t) in [(0u32, 15u32), (3, 12), (5, 10)] {
+            let b = bfs_path(&g, s, t).unwrap();
+            let d = dijkstra_path(&g, s, t, &|_| 1.0).unwrap();
+            assert_eq!(b.hop(), d.hop());
+        }
+    }
+
+    #[test]
+    fn dijkstra_on_parallel_edges_picks_cheapest() {
+        let mut g = Graph::new(2);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(0, 1);
+        let len = move |e: EdgeId| if e == e0 { 5.0 } else { 1.0 };
+        let p = dijkstra_path(&g, 0, 1, &len).unwrap();
+        assert_eq!(p.edges(), &[e1]);
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let g = generators::hypercube(5);
+        for (s, t) in [(0u32, 31u32), (1, 2), (7, 24)] {
+            assert_eq!(hop_distance(&g, s, t), (s ^ t).count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn diameter_of_families() {
+        assert_eq!(diameter(&generators::hypercube(4)), 4);
+        assert_eq!(diameter(&generators::ring(8)), 4);
+        assert_eq!(diameter(&generators::complete(5)), 1);
+        assert_eq!(diameter(&generators::grid(3, 3)), 4);
+    }
+
+    #[test]
+    fn sp_tree_paths_are_valid_and_simple() {
+        let g = generators::grid(4, 5);
+        let t = bfs_tree(&g, 0);
+        for v in g.vertices() {
+            let p = t.path_to(&g, v).unwrap();
+            assert!(p.is_valid(&g));
+            assert!(p.is_simple());
+            assert_eq!(p.hop() as f64, t.dist[v as usize]);
+        }
+    }
+}

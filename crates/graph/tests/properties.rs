@@ -1,0 +1,132 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use ssor_graph::maxflow::min_cut_value;
+use ssor_graph::shortest_path::{bfs_path, bfs_tree, dijkstra_path, hop_distance};
+use ssor_graph::{generators, Graph, Path, VertexId};
+
+/// Strategy: a connected random graph with `n` in 2..=12 via an
+/// Erdős–Rényi draw stitched to connectivity (deterministic from the seed).
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=12, 0.05f64..0.9, any::<u64>()).prop_map(|(n, p, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::erdos_renyi(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality(g in connected_graph()) {
+        let n = g.n();
+        for a in 0..n as VertexId {
+            let ta = bfs_tree(&g, a);
+            for b in 0..n as VertexId {
+                for c in 0..n as VertexId {
+                    let ab = ta.dist[b as usize];
+                    let ac = ta.dist[c as usize];
+                    let bc = bfs_tree(&g, b).dist[c as usize];
+                    prop_assert!(ac <= ab + bc + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_and_dijkstra_agree_on_unit_lengths(g in connected_graph()) {
+        for s in 0..g.n() as VertexId {
+            for t in 0..g.n() as VertexId {
+                let b = bfs_path(&g, s, t).map(|p| p.hop());
+                let d = dijkstra_path(&g, s, t, &|_| 1.0).map(|p| p.hop());
+                prop_assert_eq!(b, d);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_is_symmetric_and_bounded_by_degree(g in connected_graph()) {
+        let n = g.n() as VertexId;
+        for s in 0..n {
+            for t in (s + 1)..n {
+                let st = min_cut_value(&g, s, t);
+                let ts = min_cut_value(&g, t, s);
+                prop_assert_eq!(st, ts, "cut symmetry");
+                prop_assert!(st <= g.degree(s).min(g.degree(t)) as u64);
+                prop_assert!(st >= 1, "connected graphs have positive cuts");
+            }
+        }
+    }
+
+    #[test]
+    fn shortcut_is_idempotent_and_endpoint_preserving(
+        g in connected_graph(),
+        walk_len in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random walk of the requested length.
+        let start = rng.gen_range(0..g.n()) as VertexId;
+        let mut verts = vec![start];
+        let mut cur = start;
+        for _ in 0..walk_len {
+            let nbrs = g.neighbors(cur);
+            if nbrs.is_empty() { break; }
+            let a = nbrs[rng.gen_range(0..nbrs.len())];
+            verts.push(a.to);
+            cur = a.to;
+        }
+        let walk = Path::from_vertices(&g, &verts).unwrap();
+        let p = walk.shortcut();
+        prop_assert!(p.is_simple());
+        prop_assert!(p.is_valid(&g));
+        prop_assert_eq!(p.source(), walk.source());
+        prop_assert_eq!(p.target(), walk.target());
+        prop_assert_eq!(p.shortcut(), p.clone(), "idempotent");
+        prop_assert!(p.hop() <= walk.hop());
+    }
+
+    #[test]
+    fn ksp_paths_are_distinct_simple_and_sorted(
+        g in connected_graph(),
+        k in 1usize..6,
+    ) {
+        let s = 0 as VertexId;
+        let t = (g.n() - 1) as VertexId;
+        if s == t { return Ok(()); }
+        let paths = ssor_graph::ksp::k_shortest_paths(&g, s, t, k, &|_| 1.0);
+        prop_assert!(!paths.is_empty());
+        for w in paths.windows(2) {
+            prop_assert!(w[0].hop() <= w[1].hop(), "sorted by length");
+        }
+        let mut keys: Vec<Vec<u32>> = paths.iter().map(|p| p.edges().to_vec()).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), paths.len(), "distinct");
+        for p in &paths {
+            prop_assert!(p.is_simple());
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.target(), t);
+        }
+        // First path is a shortest path.
+        prop_assert_eq!(paths[0].hop(), hop_distance(&g, s, t));
+    }
+
+    #[test]
+    fn hypercube_edge_ids_are_a_bijection(d in 1u32..7) {
+        let g = generators::hypercube(d);
+        let mut seen = vec![false; g.m()];
+        for v in 0..(1u32 << d) {
+            for b in 0..d {
+                if v < v ^ (1 << b) {
+                    let e = generators::hypercube_edge(d, v, b);
+                    prop_assert!(!seen[e as usize], "duplicate edge id");
+                    seen[e as usize] = true;
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+    }
+}

@@ -1,0 +1,176 @@
+//! The lower-bound graph families of Section 8: `C(n, k)` (Figure 1) and
+//! the multi-scale composite `G(n)` (Lemma 8.2).
+
+use ssor_graph::{Graph, VertexId};
+
+/// Vertex-role bookkeeping for one `C(n, k)` instance.
+///
+/// `C(n, k)` (Lemma 8.1 / Figure 1) consists of two `(n+1)`-vertex stars
+/// whose centers are joined through `k` middle vertices:
+/// `2n + 2 + k` vertices and `2n + 2k` edges.
+#[derive(Debug, Clone)]
+pub struct CGraphMeta {
+    /// Leaf count per star (`n` in the paper's notation).
+    pub n: usize,
+    /// Middle-vertex count (`k = floor(n^{1/(2α)})` in the lower bound).
+    pub k: usize,
+    /// Left-star leaves `V1`.
+    pub left_leaves: Vec<VertexId>,
+    /// Left-star center `v1`.
+    pub left_center: VertexId,
+    /// Right-star center `v2`.
+    pub right_center: VertexId,
+    /// Right-star leaves `V2`.
+    pub right_leaves: Vec<VertexId>,
+    /// The middle vertices `K`.
+    pub middle: Vec<VertexId>,
+}
+
+/// Builds `C(n, k)` with vertex ids offset by `base` inside a graph that
+/// must already contain the `2n + 2 + k` vertices starting at `base`.
+fn build_c_into(g: &mut Graph, base: u32, n: usize, k: usize) -> CGraphMeta {
+    let left_center = base;
+    let right_center = base + 1;
+    let left_leaves: Vec<VertexId> = (0..n as u32).map(|i| base + 2 + i).collect();
+    let right_leaves: Vec<VertexId> = (0..n as u32).map(|i| base + 2 + n as u32 + i).collect();
+    let middle: Vec<VertexId> = (0..k as u32).map(|i| base + 2 + 2 * n as u32 + i).collect();
+    for &l in &left_leaves {
+        g.add_edge(left_center, l);
+    }
+    for &r in &right_leaves {
+        g.add_edge(right_center, r);
+    }
+    for &m in &middle {
+        g.add_edge(left_center, m);
+        g.add_edge(m, right_center);
+    }
+    CGraphMeta {
+        n,
+        k,
+        left_leaves,
+        left_center,
+        right_center,
+        right_leaves,
+        middle,
+    }
+}
+
+/// The `C(n, k)` graph of Lemma 8.1 (Figure 1 of the paper).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let (g, meta) = ssor_lowerbound::c_graph(256, 4);
+/// assert_eq!(g.n(), 2 * 256 + 2 + 4);
+/// assert_eq!(g.m(), 2 * 256 + 2 * 4);
+/// assert_eq!(meta.middle.len(), 4);
+/// ```
+pub fn c_graph(n: usize, k: usize) -> (Graph, CGraphMeta) {
+    assert!(n >= 1 && k >= 1);
+    let mut g = Graph::new(2 * n + 2 + k);
+    let meta = build_c_into(&mut g, 0, n, k);
+    (g, meta)
+}
+
+/// `k = floor(n^{1/(2α)})`, the middle-vertex count of the Lemma 8.1
+/// construction for sparsity `α`.
+pub fn k_for_alpha(n: usize, alpha: usize) -> usize {
+    ((n as f64).powf(1.0 / (2.0 * alpha as f64))).floor() as usize
+}
+
+/// The composite graph `G(n)` of Lemma 8.2: one copy of
+/// `C(n, k_for_alpha(n, α))` for every `α in 1..=floor(log2 n)`, chained
+/// with bridge edges between consecutive copies' left centers.
+///
+/// Returns the graph and per-copy metadata, indexed by `α - 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn g_graph(n: usize) -> (Graph, Vec<CGraphMeta>) {
+    assert!(n >= 2);
+    let copies = (n as f64).log2().floor() as usize;
+    let sizes: Vec<usize> = (1..=copies).map(|alpha| k_for_alpha(n, alpha).max(1)).collect();
+    let total: usize = sizes.iter().map(|&k| 2 * n + 2 + k).sum();
+    let mut g = Graph::new(total);
+    let mut metas = Vec::with_capacity(copies);
+    let mut base = 0u32;
+    for &k in &sizes {
+        let meta = build_c_into(&mut g, base, n, k);
+        base += (2 * n + 2 + k) as u32;
+        metas.push(meta);
+    }
+    // Bridges between consecutive copies (arbitrary per the paper; we use
+    // left centers).
+    for w in metas.windows(2) {
+        g.add_edge(w[0].left_center, w[1].left_center);
+    }
+    (g, metas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssor_graph::maxflow::min_cut_value;
+    use ssor_graph::shortest_path::hop_distance;
+
+    #[test]
+    fn c_graph_counts_match_lemma() {
+        for (n, k) in [(4, 2), (16, 4), (100, 3)] {
+            let (g, meta) = c_graph(n, k);
+            assert_eq!(g.n(), 2 * n + 2 + k, "Lemma 8.1 vertex count");
+            assert_eq!(g.m(), 2 * n + 2 * k, "Lemma 8.1 edge count");
+            assert!(g.is_connected());
+            assert_eq!(meta.left_leaves.len(), n);
+            assert_eq!(meta.right_leaves.len(), n);
+        }
+    }
+
+    #[test]
+    fn leaf_to_leaf_cut_is_one() {
+        // cut(s, t) = 1 for s in V1, t in V2 — the demands of the lower
+        // bound live on unit cuts, so it applies to (α + cut)-sparsity too.
+        let (g, meta) = c_graph(8, 3);
+        let s = meta.left_leaves[0];
+        let t = meta.right_leaves[5];
+        assert_eq!(min_cut_value(&g, s, t), 1);
+    }
+
+    #[test]
+    fn cross_paths_have_four_hops() {
+        let (g, meta) = c_graph(8, 3);
+        let s = meta.left_leaves[2];
+        let t = meta.right_leaves[7];
+        assert_eq!(hop_distance(&g, s, t), 4, "leaf-center-middle-center-leaf");
+    }
+
+    #[test]
+    fn k_for_alpha_matches_formula() {
+        assert_eq!(k_for_alpha(256, 1), 16);
+        assert_eq!(k_for_alpha(256, 2), 4);
+        assert_eq!(k_for_alpha(256, 4), 2);
+        assert_eq!(k_for_alpha(65536, 2), 16);
+    }
+
+    #[test]
+    fn g_graph_is_connected_with_all_copies() {
+        let (g, metas) = g_graph(16);
+        assert_eq!(metas.len(), 4, "floor(log2 16) copies");
+        assert!(g.is_connected());
+        // Bridges do not change in-copy cuts.
+        let m0 = &metas[0];
+        assert_eq!(min_cut_value(&g, m0.left_leaves[0], m0.right_leaves[0]), 1);
+    }
+
+    #[test]
+    fn g_graph_copy_sizes_decrease() {
+        let (_, metas) = g_graph(64);
+        for w in metas.windows(2) {
+            assert!(w[0].k >= w[1].k, "larger alpha needs fewer middles");
+        }
+    }
+}

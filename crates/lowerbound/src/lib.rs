@@ -1,0 +1,36 @@
+//! # ssor-lowerbound
+//!
+//! The Section 8 lower-bound constructions of *Sparse Semi-Oblivious
+//! Routing: Few Random Paths Suffice* (PODC 2023), executable.
+//!
+//! * [`c_graph`] — the two-stars-with-middles graph `C(n, k)` of
+//!   Lemma 8.1 (Figure 1);
+//! * [`g_graph`] — the multi-scale composite `G(n)` of Lemma 8.2;
+//! * [`adversary`] — the pigeonhole + Hall-matching argument of Lemma 8.1
+//!   as an *algorithm* that, given any sparse path system, outputs the
+//!   permutation demand forcing congestion `k/α` while the optimum is 1.
+//!
+//! Experiment E3 runs this adversary against actual `α`-samples to
+//! regenerate the sparsity-competitiveness lower-bound curve
+//! (Lemmas 2.4 / 2.6).
+//!
+//! # Examples
+//!
+//! ```
+//! use ssor_lowerbound::{c_graph, k_for_alpha};
+//!
+//! // For sparsity alpha = 1 on n = 16 leaves, k = sqrt(16) = 4 middles.
+//! let k = k_for_alpha(16, 1);
+//! let (g, meta) = c_graph(16, k);
+//! assert_eq!(meta.k, 4);
+//! assert!(g.is_connected());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+mod graphs;
+
+pub use adversary::{certify_hitting, find_adversarial_demand, optimal_witness, AdversaryResult};
+pub use graphs::{c_graph, g_graph, k_for_alpha, CGraphMeta};

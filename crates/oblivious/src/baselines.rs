@@ -1,0 +1,353 @@
+//! Baseline routings: deterministic shortest path, ECMP, and k-shortest
+//! paths — the comparators used by the traffic-engineering literature
+//! (SMORE `[KYY+18]`) and by experiments E4/E7.
+
+use crate::traits::ObliviousRouting;
+use rand::{Rng, RngCore};
+use ssor_graph::ksp::k_shortest_paths;
+use ssor_graph::shortest_path::{bfs_tree, SpTree};
+use ssor_graph::{EdgeId, Graph, Path, VertexId};
+
+/// Deterministic single shortest path per pair (BFS, lowest-edge-id
+/// tie-breaking). The `1`-sparse deterministic strawman on general graphs.
+#[derive(Debug)]
+pub struct ShortestPathRouting {
+    graph: Graph,
+    trees: Vec<SpTree>,
+}
+
+impl ShortestPathRouting {
+    /// Precomputes one BFS tree per source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn new(g: &Graph) -> Self {
+        assert!(g.is_connected());
+        ShortestPathRouting {
+            graph: g.clone(),
+            trees: g.vertices().map(|s| bfs_tree(g, s)).collect(),
+        }
+    }
+}
+
+impl ObliviousRouting for ShortestPathRouting {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn sample_path(&self, s: VertexId, t: VertexId, _rng: &mut dyn RngCore) -> Path {
+        assert_ne!(s, t);
+        self.trees[s as usize].path_to(&self.graph, t).expect("connected")
+    }
+
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
+        assert_ne!(s, t);
+        vec![(
+            self.trees[s as usize].path_to(&self.graph, t).expect("connected"),
+            1.0,
+        )]
+    }
+}
+
+/// Uniform distribution over the `k` shortest simple paths (Yen), the
+/// classic traffic-engineering candidate selector SMORE compares against.
+#[derive(Debug)]
+pub struct KspRouting {
+    graph: Graph,
+    k: usize,
+}
+
+impl KspRouting {
+    /// Creates the routing; paths are computed per query (Yen is the
+    /// expensive part, so callers should cache via `path_distribution`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `g` is disconnected.
+    pub fn new(g: &Graph, k: usize) -> Self {
+        assert!(k >= 1);
+        assert!(g.is_connected());
+        KspRouting { graph: g.clone(), k }
+    }
+
+    /// Number of candidate paths per pair.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ObliviousRouting for KspRouting {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path {
+        assert_ne!(s, t);
+        let ps = k_shortest_paths(&self.graph, s, t, self.k, &|_| 1.0);
+        let i = rng.gen_range(0..ps.len());
+        ps.into_iter().nth(i).unwrap()
+    }
+
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
+        assert_ne!(s, t);
+        let ps = k_shortest_paths(&self.graph, s, t, self.k, &|_| 1.0);
+        assert!(!ps.is_empty(), "graph must be connected");
+        let w = 1.0 / ps.len() as f64;
+        ps.into_iter().map(|p| (p, w)).collect()
+    }
+}
+
+/// ECMP: the uniform distribution over *all* shortest `(s, t)`-paths.
+///
+/// Sampling and edge marginals use shortest-path DAG counting (exact,
+/// polynomial); `path_distribution` enumerates the support and therefore
+/// caps it at [`EcmpRouting::MAX_SUPPORT`] paths (renormalized) — hypercube
+/// pairs can have exponentially many shortest paths.
+#[derive(Debug)]
+pub struct EcmpRouting {
+    graph: Graph,
+    trees: Vec<SpTree>,
+}
+
+impl EcmpRouting {
+    /// Cap on the explicit support returned by `path_distribution`.
+    pub const MAX_SUPPORT: usize = 64;
+
+    /// Precomputes BFS trees (distances) from every source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn new(g: &Graph) -> Self {
+        assert!(g.is_connected());
+        EcmpRouting {
+            graph: g.clone(),
+            trees: g.vertices().map(|s| bfs_tree(g, s)).collect(),
+        }
+    }
+
+    /// Number of shortest `s -> t` paths through each vertex-level DP.
+    /// `counts[v]` = number of shortest `s -> v` paths (saturating).
+    fn count_from(&self, s: VertexId) -> Vec<u128> {
+        let dist = &self.trees[s as usize].dist;
+        let n = self.graph.n();
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        order.sort_by(|&a, &b| {
+            dist[a as usize]
+                .partial_cmp(&dist[b as usize])
+                .unwrap()
+        });
+        let mut counts = vec![0u128; n];
+        counts[s as usize] = 1;
+        for &v in &order {
+            if counts[v as usize] == 0 {
+                continue;
+            }
+            for a in self.graph.neighbors(v) {
+                if dist[a.to as usize] == dist[v as usize] + 1.0 {
+                    counts[a.to as usize] = counts[a.to as usize]
+                        .saturating_add(counts[v as usize]);
+                }
+            }
+        }
+        counts
+    }
+}
+
+impl ObliviousRouting for EcmpRouting {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path {
+        assert_ne!(s, t);
+        // Walk backwards from t, choosing predecessors proportionally to
+        // their path counts from s.
+        let dist = &self.trees[s as usize].dist;
+        let counts = self.count_from(s);
+        let mut rev_vertices = vec![t];
+        let mut rev_edges: Vec<EdgeId> = Vec::new();
+        let mut cur = t;
+        while cur != s {
+            let preds: Vec<(VertexId, EdgeId, u128)> = self
+                .graph
+                .neighbors(cur)
+                .iter()
+                .filter(|a| dist[a.to as usize] + 1.0 == dist[cur as usize])
+                .map(|a| (a.to, a.edge, counts[a.to as usize]))
+                .collect();
+            let total: u128 = preds.iter().map(|&(_, _, c)| c).sum();
+            let mut x = (rng.gen::<f64>() * total as f64) as u128;
+            let mut chosen = preds.len() - 1;
+            for (i, &(_, _, c)) in preds.iter().enumerate() {
+                if x < c {
+                    chosen = i;
+                    break;
+                }
+                x -= c;
+            }
+            let (pv, pe, _) = preds[chosen];
+            rev_vertices.push(pv);
+            rev_edges.push(pe);
+            cur = pv;
+        }
+        rev_vertices.reverse();
+        rev_edges.reverse();
+        Path::from_edges(&self.graph, s, &rev_edges).expect("DAG walk is a valid path")
+    }
+
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
+        assert_ne!(s, t);
+        // Enumerate shortest paths by DFS over the shortest-path DAG,
+        // capped at MAX_SUPPORT (then renormalized).
+        let dist = &self.trees[s as usize].dist;
+        let mut out: Vec<Path> = Vec::new();
+        let mut stack_edges: Vec<EdgeId> = Vec::new();
+        let mut stack_verts: Vec<VertexId> = vec![s];
+        fn dfs(
+            g: &Graph,
+            dist: &[f64],
+            t: VertexId,
+            stack_verts: &mut Vec<VertexId>,
+            stack_edges: &mut Vec<EdgeId>,
+            out: &mut Vec<Path>,
+            cap: usize,
+        ) {
+            if out.len() >= cap {
+                return;
+            }
+            let cur = *stack_verts.last().unwrap();
+            if cur == t {
+                out.push(Path::from_edges(g, stack_verts[0], stack_edges).unwrap());
+                return;
+            }
+            for a in g.neighbors(cur) {
+                if dist[a.to as usize] == dist[cur as usize] + 1.0 {
+                    stack_verts.push(a.to);
+                    stack_edges.push(a.edge);
+                    dfs(g, dist, t, stack_verts, stack_edges, out, cap);
+                    stack_verts.pop();
+                    stack_edges.pop();
+                }
+            }
+        }
+        dfs(
+            &self.graph,
+            dist,
+            t,
+            &mut stack_verts,
+            &mut stack_edges,
+            &mut out,
+            Self::MAX_SUPPORT,
+        );
+        let w = 1.0 / out.len() as f64;
+        out.into_iter().map(|p| (p, w)).collect()
+    }
+
+    fn edge_marginals(&self, s: VertexId, t: VertexId) -> Vec<(EdgeId, f64)> {
+        // Exact marginals via forward/backward counting:
+        // P[e=(u,v) on path] = cnt_s(u) * cnt_t(v) / cnt_s(t) for DAG arcs.
+        let dist_s = &self.trees[s as usize].dist;
+        let cnt_s = self.count_from(s);
+        let cnt_t = self.count_from(t);
+        let total = cnt_s[t as usize] as f64;
+        let mut out = Vec::new();
+        for (e, (u, v)) in self.graph.edges() {
+            // Orient along increasing distance from s.
+            let (a, b) = if dist_s[u as usize] + 1.0 == dist_s[v as usize] {
+                (u, v)
+            } else if dist_s[v as usize] + 1.0 == dist_s[u as usize] {
+                (v, u)
+            } else {
+                continue;
+            };
+            // On a shortest s-t path iff dist_s(a) + 1 + dist_t(b) = dist(s,t).
+            let dist_t = &self.trees[t as usize].dist;
+            if dist_s[a as usize] + 1.0 + dist_t[b as usize] == dist_s[t as usize] {
+                let p = (cnt_s[a as usize] as f64) * (cnt_t[b as usize] as f64) / total;
+                if p > 0.0 {
+                    out.push((e, p));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_oblivious_routing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssor_flow::Demand;
+    use ssor_graph::generators;
+
+    #[test]
+    fn shortest_path_routing_is_shortest() {
+        let g = generators::grid(3, 4);
+        let r = ShortestPathRouting::new(&g);
+        for (s, t) in [(0u32, 11u32), (2, 9)] {
+            let p = r.path_distribution(s, t)[0].0.clone();
+            assert_eq!(p.hop(), ssor_graph::shortest_path::hop_distance(&g, s, t));
+        }
+        validate_oblivious_routing(&r, &[(0, 11), (3, 8)]).unwrap();
+    }
+
+    #[test]
+    fn ksp_routing_has_k_paths_when_available() {
+        let g = generators::torus(3, 3);
+        let r = KspRouting::new(&g, 3);
+        let dist = r.path_distribution(0, 4);
+        assert_eq!(dist.len(), 3);
+        validate_oblivious_routing(&r, &[(0, 4), (1, 8)]).unwrap();
+    }
+
+    #[test]
+    fn ecmp_marginals_sum_to_expected_path_length() {
+        // Sum of edge marginals = expected hop count = shortest distance
+        // (all shortest paths have equal length).
+        let g = generators::hypercube(4);
+        let r = EcmpRouting::new(&g);
+        for (s, t) in [(0u32, 15u32), (1, 14), (3, 5)] {
+            let sum: f64 = r.edge_marginals(s, t).iter().map(|&(_, p)| p).sum();
+            let d = ssor_graph::shortest_path::hop_distance(&g, s, t) as f64;
+            assert!((sum - d).abs() < 1e-9, "({s},{t}): {sum} vs {d}");
+        }
+    }
+
+    #[test]
+    fn ecmp_sampling_produces_shortest_paths() {
+        let g = generators::hypercube(3);
+        let r = EcmpRouting::new(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let p = r.sample_path(0, 7, &mut rng);
+            assert_eq!(p.hop(), 3);
+            assert!(p.is_simple());
+            assert!(p.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn ecmp_distribution_uniform_on_grid() {
+        // 2x2 grid: exactly 2 shortest paths between opposite corners.
+        let g = generators::grid(2, 2);
+        let r = EcmpRouting::new(&g);
+        let dist = r.path_distribution(0, 3);
+        assert_eq!(dist.len(), 2);
+        for (_, w) in &dist {
+            assert!((w - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ecmp_beats_single_path_on_complement_demand() {
+        let g = generators::hypercube(4);
+        let ecmp = EcmpRouting::new(&g);
+        let sp = ShortestPathRouting::new(&g);
+        let d = Demand::hypercube_complement(4);
+        assert!(ecmp.congestion(&d) <= sp.congestion(&d) + 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Electrical-flow oblivious routing, with a conjugate-gradient Laplacian
+//! solver as the substrate.
+//!
+//! Routing `s -> t` along the unit electrical current (potentials solving
+//! `L φ = e_s - e_t`) is a classic *demand-independent* fractional routing:
+//! the current is acyclic (flows down potential), so it decomposes into a
+//! distribution over simple paths — an oblivious routing in the paper's
+//! sense. Its worst-case competitiveness is polynomial, not polylog
+//! (it is the baseline the tree-based schemes beat), which makes it a
+//! useful comparison point for the A1 ablation.
+
+use crate::traits::ObliviousRouting;
+use rand::{Rng, RngCore};
+use ssor_flow::decompose::{decompose, EdgeFlow};
+use ssor_graph::{Graph, Path, VertexId};
+
+/// Sparse symmetric Laplacian application: `y = L x` for the weighted
+/// graph Laplacian with conductance `w_e` per edge.
+fn apply_laplacian(g: &Graph, w: &[f64], x: &[f64], y: &mut [f64]) {
+    y.iter_mut().for_each(|v| *v = 0.0);
+    for (e, (u, v)) in g.edges() {
+        let c = w[e as usize];
+        let d = x[u as usize] - x[v as usize];
+        y[u as usize] += c * d;
+        y[v as usize] -= c * d;
+    }
+}
+
+/// Solves `L φ = b` (with `b ⊥ 1`) by conjugate gradients on the
+/// pseudo-inverse, keeping iterates orthogonal to the all-ones kernel.
+/// Returns the potentials (mean-centered).
+///
+/// # Panics
+///
+/// Panics if `b` does not sum to (nearly) zero or dimensions mismatch.
+pub fn solve_laplacian(g: &Graph, w: &[f64], b: &[f64], tol: f64, max_iters: usize) -> Vec<f64> {
+    let n = g.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(w.len(), g.m());
+    let bsum: f64 = b.iter().sum();
+    assert!(bsum.abs() < 1e-6, "b must be orthogonal to the kernel (sum {bsum})");
+
+    let center = |x: &mut Vec<f64>| {
+        let mean = x.iter().sum::<f64>() / n as f64;
+        x.iter_mut().for_each(|v| *v -= mean);
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    center(&mut r);
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rs: f64 = r.iter().map(|v| v * v).sum();
+    let b_norm = rs.sqrt().max(1e-30);
+
+    for _ in 0..max_iters {
+        if rs.sqrt() <= tol * b_norm {
+            break;
+        }
+        apply_laplacian(g, w, &p, &mut ap);
+        let pap: f64 = p.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
+        if pap.abs() < 1e-300 {
+            break;
+        }
+        let alpha = rs / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs;
+        rs = rs_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    center(&mut x);
+    x
+}
+
+/// The unit `s -> t` electrical flow (currents per edge, oriented along
+/// the stored edge direction), for unit conductances scaled by `w`.
+pub fn electrical_flow(g: &Graph, w: &[f64], s: VertexId, t: VertexId) -> EdgeFlow {
+    let n = g.n();
+    let mut b = vec![0.0; n];
+    b[s as usize] = 1.0;
+    b[t as usize] = -1.0;
+    let phi = solve_laplacian(g, w, &b, 1e-10, 4 * n + 200);
+    g.edges()
+        .map(|(e, (u, v))| w[e as usize] * (phi[u as usize] - phi[v as usize]))
+        .collect()
+}
+
+/// Effective resistance between `s` and `t` under conductances `w`.
+pub fn effective_resistance(g: &Graph, w: &[f64], s: VertexId, t: VertexId) -> f64 {
+    let n = g.n();
+    let mut b = vec![0.0; n];
+    b[s as usize] = 1.0;
+    b[t as usize] = -1.0;
+    let phi = solve_laplacian(g, w, &b, 1e-10, 4 * n + 200);
+    phi[s as usize] - phi[t as usize]
+}
+
+/// Oblivious routing along unit electrical flows (unit conductances).
+///
+/// # Examples
+///
+/// ```
+/// use ssor_oblivious::{ElectricalRouting, ObliviousRouting};
+///
+/// let g = ssor_graph::generators::ring(6);
+/// let r = ElectricalRouting::new(&g);
+/// let dist = r.path_distribution(0, 3);
+/// // The two sides of the ring have equal resistance: 50/50 split.
+/// assert_eq!(dist.len(), 2);
+/// assert!((dist[0].1 - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct ElectricalRouting {
+    graph: Graph,
+    conductance: Vec<f64>,
+}
+
+impl ElectricalRouting {
+    /// Unit conductances on every edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn new(g: &Graph) -> Self {
+        assert!(g.is_connected());
+        ElectricalRouting { graph: g.clone(), conductance: vec![1.0; g.m()] }
+    }
+
+    /// Custom conductances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or any conductance is nonpositive.
+    pub fn with_conductances(g: &Graph, conductance: Vec<f64>) -> Self {
+        assert!(g.is_connected());
+        assert_eq!(conductance.len(), g.m());
+        assert!(conductance.iter().all(|&c| c > 0.0));
+        ElectricalRouting { graph: g.clone(), conductance }
+    }
+}
+
+impl ObliviousRouting for ElectricalRouting {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path {
+        assert_ne!(s, t);
+        let dist = self.path_distribution(s, t);
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (p, w) in &dist {
+            x -= w;
+            if x <= 0.0 {
+                return p.clone();
+            }
+        }
+        dist.into_iter().last().unwrap().0
+    }
+
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
+        assert_ne!(s, t);
+        let flow = electrical_flow(&self.graph, &self.conductance, s, t);
+        let mut parts = decompose(&self.graph, flow, s, t, 1e-9);
+        // Numerical residue: renormalize to exactly 1.
+        let total: f64 = parts.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.5, "electrical flow lost more than half its mass");
+        for (_, w) in parts.iter_mut() {
+            *w /= total;
+        }
+        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.edges().cmp(b.0.edges())));
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_oblivious_routing;
+    use ssor_graph::generators;
+
+    #[test]
+    fn laplacian_solver_on_path_graph() {
+        // Path 0-1-2: unit current 0 -> 2 gives potential drops of 1 per
+        // edge (resistance 1 each): phi_0 - phi_2 = 2.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = vec![1.0, 1.0];
+        let r = effective_resistance(&g, &w, 0, 2);
+        assert!((r - 2.0).abs() < 1e-6, "series resistance adds, got {r}");
+    }
+
+    #[test]
+    fn parallel_edges_halve_resistance() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let r = effective_resistance(&g, &[1.0, 1.0], 0, 1);
+        assert!((r - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_splits_by_resistance() {
+        // Ring of 5, 0 -> 2: sides have resistance 2 and 3; current splits
+        // 3/5 vs 2/5.
+        let g = generators::ring(5);
+        let r = ElectricalRouting::new(&g);
+        let dist = r.path_distribution(0, 2);
+        assert_eq!(dist.len(), 2);
+        assert!((dist[0].1 - 0.6).abs() < 1e-6, "short side carries 3/5, got {}", dist[0].1);
+        assert!((dist[1].1 - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_conserves_on_grids() {
+        let g = generators::grid(4, 4);
+        let w = vec![1.0; g.m()];
+        let flow = electrical_flow(&g, &w, 0, 15);
+        assert!(ssor_flow::decompose::is_conserving(&g, &flow, 0, 15, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn validates_as_oblivious_routing() {
+        let g = generators::grid(3, 3);
+        let r = ElectricalRouting::new(&g);
+        validate_oblivious_routing(&r, &[(0, 8), (2, 6), (1, 5)]).unwrap();
+    }
+
+    #[test]
+    fn conductance_bias_shifts_mass() {
+        // Ring of 4, 0 -> 2, one side has 10x conductance.
+        let g = generators::ring(4); // edges (0,1),(1,2),(2,3),(3,0)
+        let r = ElectricalRouting::with_conductances(&g, vec![10.0, 10.0, 1.0, 1.0]);
+        let dist = r.path_distribution(0, 2);
+        // Side through vertex 1 has resistance 0.2, other side 2.0:
+        // mass ratio 10:1.
+        assert!(dist[0].1 > 0.85);
+        assert_eq!(dist[0].0.vertices()[1], 1);
+    }
+
+    #[test]
+    fn congestion_reasonable_on_hypercube_permutation() {
+        use ssor_flow::Demand;
+        let r = ElectricalRouting::new(&generators::hypercube(4));
+        let d = Demand::hypercube_complement(4);
+        let cong = r.congestion(&d);
+        // Sanity window: better than single-path worst case, worse than 0.
+        assert!(cong > 0.5 && cong < 16.0, "cong = {cong}");
+    }
+}

@@ -1,0 +1,356 @@
+//! FRT random hierarchical tree embeddings, and the tree-based routing that
+//! maps tree paths back to graph paths.
+//!
+//! Räcke's 2008 construction of `O(log n)`-competitive oblivious routing
+//! reduces to low-distortion probabilistic tree embeddings; FRT supplies
+//! those (`O(log n)` expected distortion). A single FRT tree gives a
+//! deterministic path map; a *distribution* over trees (built in
+//! [`RaeckeRouting`](crate::RaeckeRouting)) gives the oblivious routing.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ssor_graph::shortest_path::{dijkstra_tree, SpTree};
+use ssor_graph::{EdgeId, Graph, Path, VertexId};
+use std::rc::Rc;
+
+/// All-pairs shortest-path structure under a fixed length function: one
+/// Dijkstra tree per source. `O(n^2)` memory — intended for the paper's
+/// experiment scales (n up to a few thousand).
+#[derive(Debug)]
+pub struct Metric {
+    trees: Vec<SpTree>,
+}
+
+impl Metric {
+    /// Builds the metric with one Dijkstra per vertex.
+    pub fn build(g: &Graph, len: &dyn Fn(EdgeId) -> f64) -> Self {
+        let trees = g.vertices().map(|s| dijkstra_tree(g, s, len)).collect();
+        Metric { trees }
+    }
+
+    /// Unit-length (hop) metric.
+    pub fn hops(g: &Graph) -> Self {
+        Metric::build(g, &|_| 1.0)
+    }
+
+    /// Distance from `u` to `v`.
+    pub fn dist(&self, u: VertexId, v: VertexId) -> f64 {
+        self.trees[u as usize].dist_to(v)
+    }
+
+    /// A shortest `u -> v` path under the metric's lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is unreachable from `u`.
+    pub fn path(&self, g: &Graph, u: VertexId, v: VertexId) -> Path {
+        if u == v {
+            return Path::trivial(u);
+        }
+        self.trees[u as usize]
+            .path_to(g, v)
+            .expect("metric requires a connected graph")
+    }
+
+    /// Largest finite pairwise distance.
+    pub fn diameter(&self) -> f64 {
+        let mut best: f64 = 0.0;
+        for t in &self.trees {
+            for &d in &t.dist {
+                if d.is_finite() {
+                    best = best.max(d);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// One FRT hierarchical decomposition tree.
+///
+/// `chains[v][i]` is the cluster center of vertex `v` at level `i`
+/// (level 0 = the vertex itself, top level = one cluster for the whole
+/// graph). Two vertices share the level-`i` cluster iff their chains agree
+/// at every level `>= i` — chain-prefix comparison keeps the family
+/// laminar.
+#[derive(Debug, Clone)]
+pub struct FrtTree {
+    levels: usize,
+    chains: Vec<Vec<VertexId>>,
+}
+
+impl FrtTree {
+    /// Samples an FRT tree for the given metric: random permutation `pi`,
+    /// random `beta in [1, 2)`, level-`i` radius `beta * 2^{i-2}`.
+    pub fn sample<R: Rng + ?Sized>(metric: &Metric, n: usize, rng: &mut R) -> Self {
+        assert!(n >= 1);
+        let mut pi: Vec<VertexId> = (0..n as VertexId).collect();
+        pi.shuffle(rng);
+        // FRT samples beta with density 1/(beta ln 2) on [1, 2); inverse
+        // CDF sampling: beta = 2^u for u uniform in [0, 1).
+        let beta = 2f64.powf(rng.gen::<f64>());
+
+        let diam = metric.diameter().max(1.0);
+        // Smallest L with beta * 2^{L-2} >= diam (so the top level is a
+        // single cluster regardless of beta >= 1).
+        let mut levels = 2usize;
+        while (1 << (levels - 2)) < diam.ceil() as u64 * 2 {
+            levels += 1;
+        }
+
+        let mut chains = vec![Vec::with_capacity(levels + 1); n];
+        for (v, chain) in chains.iter_mut().enumerate() {
+            chain.push(v as VertexId); // level 0: singleton
+        }
+        for i in 1..=levels {
+            let r = beta * 2f64.powi(i as i32 - 2);
+            for v in 0..n {
+                let c = pi
+                    .iter()
+                    .copied()
+                    .find(|&c| metric.dist(c, v as VertexId) <= r)
+                    .expect("top radius covers the whole graph");
+                chains[v].push(c);
+            }
+        }
+        FrtTree { levels, chains }
+    }
+
+    /// Number of levels above the leaves.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The center chain of `v` (level 0 through the top).
+    pub fn chain(&self, v: VertexId) -> &[VertexId] {
+        &self.chains[v as usize]
+    }
+
+    /// The meeting level of `s` and `t`: the smallest `i` such that the
+    /// chains agree at every level `>= i` (0 iff `s == t`).
+    pub fn meeting_level(&self, s: VertexId, t: VertexId) -> usize {
+        let (cs, ct) = (&self.chains[s as usize], &self.chains[t as usize]);
+        let mut level = self.levels + 1;
+        for i in (0..=self.levels).rev() {
+            if cs[i] != ct[i] {
+                break;
+            }
+            level = i;
+        }
+        level.min(self.levels)
+    }
+
+    /// The tree-path waypoints from `s` to `t`: centers going up `s`'s
+    /// chain to the meeting cluster, then down `t`'s chain. Consecutive
+    /// duplicates are removed.
+    pub fn waypoints(&self, s: VertexId, t: VertexId) -> Vec<VertexId> {
+        let j = self.meeting_level(s, t);
+        let mut w: Vec<VertexId> = Vec::with_capacity(2 * j + 1);
+        for i in 0..=j {
+            w.push(self.chains[s as usize][i]);
+        }
+        for i in (0..j).rev() {
+            w.push(self.chains[t as usize][i]);
+        }
+        w.dedup();
+        w
+    }
+
+    /// Distance between `s` and `t` in the (virtual) tree, using level
+    /// radii as edge lengths — an upper bound proxy for the embedding
+    /// distortion.
+    pub fn tree_distance(&self, s: VertexId, t: VertexId) -> f64 {
+        let j = self.meeting_level(s, t);
+        // Edge from level i-1 to i costs 2^i; both sides climb to level j.
+        2.0 * (0..=j).map(|i| 2f64.powi(i as i32)).sum::<f64>()
+    }
+}
+
+/// Deterministic path map derived from one FRT tree: the `s -> t` path is
+/// the concatenation of shortest paths between consecutive tree waypoints,
+/// shortcut to a simple path.
+#[derive(Debug, Clone)]
+pub struct TreeRouting {
+    metric: Rc<Metric>,
+    tree: Rc<FrtTree>,
+}
+
+impl TreeRouting {
+    /// Wraps a tree with the metric used to map its segments.
+    pub fn new(metric: Rc<Metric>, tree: Rc<FrtTree>) -> Self {
+        TreeRouting { metric, tree }
+    }
+
+    /// The underlying FRT tree.
+    pub fn tree(&self) -> &FrtTree {
+        &self.tree
+    }
+
+    /// The (deterministic, simple) routed path for `(s, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`.
+    pub fn path(&self, g: &Graph, s: VertexId, t: VertexId) -> Path {
+        assert_ne!(s, t, "tree routing needs distinct endpoints");
+        let wps = self.tree.waypoints(s, t);
+        let mut acc = Path::trivial(s);
+        for w in wps.windows(2) {
+            acc = acc.concat(&self.metric.path(g, w[0], w[1]));
+        }
+        let p = acc.shortcut();
+        debug_assert_eq!(p.source(), s);
+        debug_assert_eq!(p.target(), t);
+        p
+    }
+}
+
+/// A randomized oblivious routing that samples a *fresh* FRT tree per path
+/// draw is wasteful; instead, [`RaeckeRouting`](crate::RaeckeRouting) holds a
+/// fixed mixture of [`TreeRouting`]s. This helper samples `count` trees
+/// over the hop metric — the plain "FRT ensemble" baseline.
+pub fn sample_tree_routings<R: Rng + ?Sized>(
+    g: &Graph,
+    count: usize,
+    rng: &mut R,
+) -> Vec<TreeRouting> {
+    let metric = Rc::new(Metric::hops(g));
+    (0..count)
+        .map(|_| {
+            let tree = Rc::new(FrtTree::sample(&metric, g.n(), rng));
+            TreeRouting::new(Rc::clone(&metric), tree)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssor_graph::generators;
+
+    #[test]
+    fn metric_matches_bfs_on_unit_lengths() {
+        let g = generators::grid(3, 4);
+        let m = Metric::hops(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let hop = ssor_graph::shortest_path::hop_distance(&g, s, t);
+                assert_eq!(m.dist(s, t) as usize, hop);
+            }
+        }
+        assert_eq!(m.diameter() as usize, 5);
+    }
+
+    #[test]
+    fn chains_start_at_self_and_end_together() {
+        let g = generators::ring(10);
+        let metric = Metric::hops(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = FrtTree::sample(&metric, g.n(), &mut rng);
+        let top = tree.levels();
+        let root = tree.chain(0)[top];
+        for v in g.vertices() {
+            assert_eq!(tree.chain(v)[0], v);
+            assert_eq!(tree.chain(v)[top], root, "single top cluster");
+        }
+    }
+
+    #[test]
+    fn meeting_level_is_symmetric_and_zero_iff_equal() {
+        let g = generators::grid(4, 4);
+        let metric = Metric::hops(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = FrtTree::sample(&metric, g.n(), &mut rng);
+        for s in g.vertices() {
+            assert_eq!(tree.meeting_level(s, s), 0);
+            for t in g.vertices() {
+                assert_eq!(tree.meeting_level(s, t), tree.meeting_level(t, s));
+                if s != t {
+                    assert!(tree.meeting_level(s, t) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_paths_are_simple_valid_and_connect() {
+        let g = generators::hypercube(4);
+        let metric = Rc::new(Metric::hops(&g));
+        let mut rng = StdRng::seed_from_u64(11);
+        let tree = Rc::new(FrtTree::sample(&metric, g.n(), &mut rng));
+        let tr = TreeRouting::new(metric, tree);
+        for s in [0u32, 3, 7] {
+            for t in g.vertices() {
+                if s == t {
+                    continue;
+                }
+                let p = tr.path(&g, s, t);
+                assert_eq!(p.source(), s);
+                assert_eq!(p.target(), t);
+                assert!(p.is_simple());
+                assert!(p.is_valid(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn expected_stretch_is_logarithmic_ish() {
+        // FRT guarantees E[tree dist] <= O(log n) * dist. Check the routed
+        // path stretch averaged over trees stays well below the diameter
+        // blowup a bad embedding would give.
+        let g = generators::ring(16);
+        let mut rng = StdRng::seed_from_u64(17);
+        let routings = sample_tree_routings(&g, 24, &mut rng);
+        let mut total_stretch = 0.0;
+        let mut count = 0;
+        for (s, t) in [(0u32, 1u32), (2, 3), (10, 11), (15, 0)] {
+            for tr in &routings {
+                let p = tr.path(&g, s, t);
+                total_stretch += p.hop() as f64 / 1.0; // dist = 1
+                count += 1;
+            }
+        }
+        let avg = total_stretch / count as f64;
+        // log2(16) = 4; allow generous slack, but far below diameter 8.
+        assert!(avg <= 6.0, "average stretch {avg} too large");
+    }
+
+    #[test]
+    fn waypoints_start_and_end_correctly() {
+        let g = generators::grid(3, 3);
+        let metric = Metric::hops(&g);
+        let mut rng = StdRng::seed_from_u64(23);
+        let tree = FrtTree::sample(&metric, g.n(), &mut rng);
+        let w = tree.waypoints(0, 8);
+        assert_eq!(*w.first().unwrap(), 0);
+        assert_eq!(*w.last().unwrap(), 8);
+        // No consecutive duplicates.
+        for pair in w.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn tree_distance_dominates_metric_distance() {
+        // The FRT guarantee "tree distance >= true distance" holds per
+        // sample (not just in expectation).
+        let g = generators::grid(4, 4);
+        let metric = Metric::hops(&g);
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..5 {
+            let tree = FrtTree::sample(&metric, g.n(), &mut rng);
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    if s != t {
+                        assert!(
+                            tree.tree_distance(s, t) + 1e-9 >= metric.dist(s, t),
+                            "tree distance must dominate"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Räcke-style oblivious routing: a multiplicative-weights-built mixture of
+//! FRT tree routings `[Räc08]`.
+//!
+//! Räcke's `O(log n)`-competitive construction finds a distribution over
+//! decomposition trees minimizing the maximum *relative load* any edge
+//! suffers when the whole graph ("each edge routes its own capacity") is
+//! routed through a tree. His reduction is exactly a multiplicative-weights
+//! game whose oracle is a low-distortion tree embedding; we instantiate the
+//! oracle with FRT trees over the adaptively re-weighted length metric.
+//! This is also precisely the construction SMORE `[KYY+18]` samples from in
+//! production traffic engineering.
+
+use crate::frt::{FrtTree, Metric, TreeRouting};
+use crate::traits::ObliviousRouting;
+use rand::{Rng, RngCore};
+use ssor_graph::{Graph, Path, VertexId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Options for [`RaeckeRouting::build`].
+#[derive(Debug, Clone)]
+pub struct RaeckeOptions {
+    /// Number of trees in the mixture.
+    pub iterations: usize,
+    /// Multiplicative-weights learning rate.
+    pub epsilon: f64,
+}
+
+impl Default for RaeckeOptions {
+    fn default() -> Self {
+        RaeckeOptions { iterations: 12, epsilon: 0.5 }
+    }
+}
+
+/// A mixture of FRT tree routings built by multiplicative weights.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_oblivious::{ObliviousRouting, RaeckeRouting};
+/// use rand::SeedableRng;
+///
+/// let g = ssor_graph::generators::grid(3, 3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = RaeckeRouting::build(&g, &Default::default(), &mut rng);
+/// let mut rng2 = rand::rngs::StdRng::seed_from_u64(2);
+/// let p = r.sample_path(0, 8, &mut rng2);
+/// assert_eq!((p.source(), p.target()), (0, 8));
+/// ```
+#[derive(Debug)]
+pub struct RaeckeRouting {
+    graph: Graph,
+    trees: Vec<TreeRouting>,
+    /// Mixture weights, summing to 1.
+    weights: Vec<f64>,
+    /// Max relative load per iteration (diagnostic; Räcke's objective).
+    relative_loads: Vec<f64>,
+}
+
+impl RaeckeRouting {
+    /// Builds the mixture on `g`.
+    ///
+    /// Each iteration: (1) build the length metric from the current edge
+    /// weights, (2) sample an FRT tree for it, (3) route the canonical
+    /// "every edge ships one unit between its endpoints" demand through the
+    /// tree and record each edge's load, (4) multiplicatively penalize
+    /// loaded edges so the next tree avoids them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or has no edges.
+    pub fn build<R: Rng + ?Sized>(g: &Graph, opts: &RaeckeOptions, rng: &mut R) -> Self {
+        assert!(g.m() > 0, "graph must have edges");
+        assert!(g.is_connected(), "Raecke routing needs a connected graph");
+        assert!(opts.iterations > 0);
+        let m = g.m();
+        let mut lengths = vec![1.0f64; m];
+        let mut trees = Vec::with_capacity(opts.iterations);
+        let mut relative_loads = Vec::with_capacity(opts.iterations);
+
+        for _ in 0..opts.iterations {
+            let lens = lengths.clone();
+            let metric = Rc::new(Metric::build(g, &move |e| lens[e as usize]));
+            let tree = Rc::new(FrtTree::sample(&metric, g.n(), rng));
+            let tr = TreeRouting::new(Rc::clone(&metric), tree);
+
+            // Canonical demand: one unit between the endpoints of every
+            // edge (so parallel edges contribute multiplicity). Relative
+            // load of edge f = number of canonical units crossing f.
+            let mut load = vec![0.0f64; m];
+            for (_, (u, v)) in g.edges() {
+                let p = tr.path(g, u, v);
+                for &f in p.edges() {
+                    load[f as usize] += 1.0;
+                }
+            }
+            let rho = load.iter().cloned().fold(1.0, f64::max);
+            relative_loads.push(rho);
+
+            // Multiplicative penalty, then renormalize to keep lengths
+            // bounded.
+            for e in 0..m {
+                lengths[e] *= (opts.epsilon * load[e] / rho).exp();
+            }
+            let min_len = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
+            for l in lengths.iter_mut() {
+                *l /= min_len;
+            }
+
+            trees.push(tr);
+        }
+        let w = 1.0 / trees.len() as f64;
+        RaeckeRouting {
+            graph: g.clone(),
+            weights: vec![w; trees.len()],
+            relative_loads,
+            trees,
+        }
+    }
+
+    /// The trees in the mixture.
+    pub fn trees(&self) -> &[TreeRouting] {
+        &self.trees
+    }
+
+    /// Max relative load observed at each iteration (diagnostic).
+    pub fn relative_loads(&self) -> &[f64] {
+        &self.relative_loads
+    }
+}
+
+impl ObliviousRouting for RaeckeRouting {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path {
+        assert_ne!(s, t);
+        let mut x = rng.gen::<f64>();
+        for (tr, &w) in self.trees.iter().zip(self.weights.iter()) {
+            x -= w;
+            if x <= 0.0 {
+                return tr.path(&self.graph, s, t);
+            }
+        }
+        self.trees.last().unwrap().path(&self.graph, s, t)
+    }
+
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
+        assert_ne!(s, t);
+        let mut acc: HashMap<Vec<u32>, (Path, f64)> = HashMap::new();
+        for (tr, &w) in self.trees.iter().zip(self.weights.iter()) {
+            let p = tr.path(&self.graph, s, t);
+            acc.entry(p.edges().to_vec()).or_insert_with(|| (p, 0.0)).1 += w;
+        }
+        let mut out: Vec<(Path, f64)> = acc.into_values().collect();
+        out.sort_by(|a, b| a.0.edges().cmp(b.0.edges()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_oblivious_routing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssor_flow::mincong::{min_congestion_unrestricted, SolveOptions};
+    use ssor_flow::Demand;
+    use ssor_graph::generators;
+
+    #[test]
+    fn builds_and_validates_on_grid() {
+        let g = generators::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = RaeckeRouting::build(&g, &Default::default(), &mut rng);
+        let pairs: Vec<(u32, u32)> = vec![(0, 8), (2, 6), (1, 7), (3, 5)];
+        validate_oblivious_routing(&r, &pairs).unwrap();
+        assert_eq!(r.trees().len(), 12);
+    }
+
+    #[test]
+    fn competitive_on_random_demands() {
+        // The mixture should be within a polylog factor of OPT on random
+        // permutation demands; we assert a loose factor.
+        let g = generators::random_regular(24, 3, &mut StdRng::seed_from_u64(5));
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = RaeckeRouting::build(&g, &RaeckeOptions { iterations: 16, epsilon: 0.5 }, &mut rng);
+        let d = Demand::random_permutation(24, &mut rng);
+        let cong = r.congestion(&d);
+        let opt = min_congestion_unrestricted(&g, &d, &SolveOptions::default());
+        let ratio = cong / opt.lower_bound.max(1e-9);
+        assert!(
+            ratio < 20.0,
+            "Raecke ratio {ratio} too large (cong {cong}, opt lb {})",
+            opt.lower_bound
+        );
+    }
+
+    #[test]
+    fn relative_loads_trend_reasonably() {
+        let g = generators::ring(12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = RaeckeRouting::build(&g, &RaeckeOptions { iterations: 10, epsilon: 0.5 }, &mut rng);
+        assert_eq!(r.relative_loads().len(), 10);
+        for &rho in r.relative_loads() {
+            assert!(rho >= 1.0);
+            // A ring has 12 edges; no tree should overload an edge by more
+            // than the total canonical demand.
+            assert!(rho <= 12.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = RaeckeRouting::build(&g, &Default::default(), &mut rng);
+    }
+
+    #[test]
+    fn sampling_matches_mixture() {
+        let g = generators::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = RaeckeRouting::build(&g, &RaeckeOptions { iterations: 6, epsilon: 0.5 }, &mut rng);
+        let dist = r.path_distribution(0, 8);
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Sampled paths always come from the distribution's support.
+        let support: Vec<Vec<u32>> = dist.iter().map(|(p, _)| p.edges().to_vec()).collect();
+        for seed in 0..20 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let p = r.sample_path(0, 8, &mut rng2);
+            assert!(support.contains(&p.edges().to_vec()));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The oblivious-routing abstraction (Section 4 of the paper).
+//!
+//! An oblivious routing `R = {R(s, t)}` fixes, independently of the demand,
+//! a distribution over simple `(s, t)`-paths for every pair. The paper's
+//! semi-oblivious construction (Definition 5.2) only ever *samples* from
+//! `R(s, t)`, so that is the one required method; everything else
+//! (materializing distributions, exact congestion) has default
+//! implementations that concrete routings can specialize.
+
+use rand::RngCore;
+use ssor_flow::{Demand, Routing};
+use ssor_graph::{EdgeId, Graph, Path, VertexId};
+use std::collections::HashMap;
+
+/// An oblivious routing over a fixed graph.
+///
+/// Implementations must guarantee that [`sample_path`](Self::sample_path)
+/// returns a *simple* path from `s` to `t`, and that
+/// [`path_distribution`](Self::path_distribution) returns the exact (finite)
+/// distribution that `sample_path` draws from.
+pub trait ObliviousRouting {
+    /// The graph this routing is defined over.
+    fn graph(&self) -> &Graph;
+
+    /// Draws one path from `R(s, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `s == t` or vertices are out of range.
+    fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path;
+
+    /// The full distribution `R(s, t)` as `(path, probability)` pairs with
+    /// probabilities summing to 1. Identical paths must be merged.
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)>;
+
+    /// Marginal edge probabilities `P[e in R(s, t)]`, sparse.
+    ///
+    /// The default derives them from [`path_distribution`]; routings with
+    /// huge supports (e.g. ECMP) can override with closed-form marginals.
+    ///
+    /// [`path_distribution`]: Self::path_distribution
+    fn edge_marginals(&self, s: VertexId, t: VertexId) -> Vec<(EdgeId, f64)> {
+        let mut acc: HashMap<EdgeId, f64> = HashMap::new();
+        for (p, w) in self.path_distribution(s, t) {
+            for &e in p.edges() {
+                *acc.entry(e).or_insert(0.0) += w;
+            }
+        }
+        let mut v: Vec<(EdgeId, f64)> = acc.into_iter().collect();
+        v.sort_unstable_by_key(|&(e, _)| e);
+        v
+    }
+
+    /// Materializes `R` on the support of `d` as a [`Routing`].
+    fn routing_for(&self, d: &Demand) -> Routing {
+        let mut r = Routing::new();
+        for (s, t) in d.support() {
+            r.set_distribution(s, t, self.path_distribution(s, t));
+        }
+        r
+    }
+
+    /// Exact `cong(R, d)` (Section 4), computed from edge marginals.
+    fn congestion(&self, d: &Demand) -> f64 {
+        let mut load = vec![0.0f64; self.graph().m()];
+        for ((s, t), w) in d.iter() {
+            for (e, p) in self.edge_marginals(s, t) {
+                load[e as usize] += w * p;
+            }
+        }
+        load.into_iter().fold(0.0, f64::max)
+    }
+
+    /// `dil(R, d)`: maximum hop length in the supports used by `d`.
+    fn dilation(&self, d: &Demand) -> usize {
+        let mut best = 0;
+        for ((s, t), _) in d.iter() {
+            for (p, w) in self.path_distribution(s, t) {
+                if w > 0.0 {
+                    best = best.max(p.hop());
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Checks the structural contract of an implementation on the given pairs:
+/// simple valid paths with correct endpoints, probabilities summing to 1.
+/// Intended for tests.
+pub fn validate_oblivious_routing<O: ObliviousRouting + ?Sized>(
+    routing: &O,
+    pairs: &[(VertexId, VertexId)],
+) -> Result<(), String> {
+    let g = routing.graph();
+    for &(s, t) in pairs {
+        let dist = routing.path_distribution(s, t);
+        if dist.is_empty() {
+            return Err(format!("empty distribution for ({s}, {t})"));
+        }
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(format!("({s}, {t}): probabilities sum to {total}"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (p, w) in &dist {
+            if *w <= 0.0 {
+                return Err(format!("({s}, {t}): nonpositive weight {w}"));
+            }
+            if p.source() != s || p.target() != t {
+                return Err(format!("({s}, {t}): path endpoints {:?}", p));
+            }
+            if !p.is_valid(g) {
+                return Err(format!("({s}, {t}): invalid path {:?}", p));
+            }
+            if !p.is_simple() {
+                return Err(format!("({s}, {t}): non-simple path {:?}", p));
+            }
+            if !seen.insert(p.edges().to_vec()) {
+                return Err(format!("({s}, {t}): duplicate path {:?}", p));
+            }
+        }
+    }
+    Ok(())
+}

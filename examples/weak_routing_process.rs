@@ -1,0 +1,62 @@
+//! The Section 5.3 proof, run as a program: the weak-routing edge-deletion
+//! process, its Lemma 5.10 invariants, and the Lemma 5.8 weak-to-strong
+//! loop that turns "route half the demand" into "route all of it".
+//!
+//! Run with: `cargo run --release --example weak_routing_process`
+
+use rand::SeedableRng;
+use ssor::core::special::{process_weak_router, weak_to_strong};
+use ssor::core::weak::{sample_multiset, verify_lemma_5_10, weak_route};
+use ssor::core::PathSystem;
+use ssor::flow::Demand;
+use ssor::oblivious::{ObliviousRouting, ValiantRouting};
+
+fn main() {
+    let dim = 5;
+    let valiant = ValiantRouting::new(dim);
+    let d = Demand::hypercube_complement(dim);
+    println!(
+        "== Section 5.3 live: hypercube n = {}, complement demand (siz = {}) ==\n",
+        1 << dim,
+        d.size()
+    );
+
+    let alpha = 5;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+    let samples = sample_multiset(&valiant, &d.support(), |_, _| alpha, &mut rng);
+    println!("sampled α = {alpha} candidate paths per pair (multiplicities kept)\n");
+
+    println!("{:>6} {:>14} {:>18} {:>10}", "γ", "routed frac", "overcong. edges", "success");
+    for gamma in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let out = weak_route(valiant.graph(), &samples, &d, gamma);
+        verify_lemma_5_10(valiant.graph(), &d, &out).expect("Lemma 5.10 invariants");
+        println!(
+            "{gamma:>6.1} {:>14.3} {:>18} {:>10}",
+            out.routed_fraction,
+            out.overcongested_edges(),
+            out.succeeded()
+        );
+    }
+    println!("\n(the sharp γ threshold is the Lemma 5.6 concentration; every row passed");
+    println!(" the machine-checked Lemma 5.10 invariants: d' ≤ d, cong ≤ γ, siz = D - ΣΔ)\n");
+
+    // Lemma 5.8: repeat weak routing until everything is covered.
+    let gamma = 8.0;
+    let mut ps = PathSystem::new();
+    for paths in samples.values() {
+        for p in paths {
+            ps.insert(p.clone());
+        }
+    }
+    let mut weak = process_weak_router(valiant.graph(), &samples, gamma);
+    let out = weak_to_strong(valiant.graph(), &d, &ps, &mut weak);
+    println!("-- Lemma 5.8 weak-to-strong at γ = {gamma} --");
+    println!(
+        "covered {:.1}% of the demand in {} round(s), final congestion {:.3}",
+        100.0 * out.covered.size() / d.size(),
+        out.rounds,
+        out.congestion
+    );
+    println!("budget from the reduction: O(γ log m) = {:.1}", 4.0 * gamma * (valiant.graph().m() as f64).ln());
+    println!("\n=> the probabilistic method of the paper is not just provable — it runs.");
+}
