@@ -1,13 +1,18 @@
-//! Criterion micro-benchmarks for every stage of the reproduction
-//! pipeline. One group per subsystem; the experiment *tables* live in the
-//! `e1_*`..`e9_*` binaries (see EXPERIMENTS.md), these benches track the
-//! cost of the machinery that regenerates them.
+//! Micro-benchmarks for every stage of the reproduction pipeline, on a
+//! tiny self-contained harness (the build container cannot fetch
+//! criterion; `harness = false` keeps `cargo bench` working offline).
+//! One group per subsystem; the experiment *tables* live in the
+//! `e1_*`..`e9_*` binaries, these benches track the cost of the machinery
+//! that regenerates them.
+//!
+//! Run with: `cargo bench -p ssor-bench`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ssor_core::sample::{all_pairs, alpha_sample};
 use ssor_core::weak::{sample_multiset, weak_route};
+use ssor_engine::sampling::par_alpha_sample;
+use ssor_engine::{DemandSpec, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
 use ssor_flow::mincong::{min_congestion_restricted, min_congestion_unrestricted, SolveOptions};
 use ssor_flow::rounding::round_routing;
 use ssor_flow::Demand;
@@ -17,107 +22,150 @@ use ssor_lowerbound::{c_graph, find_adversarial_demand};
 use ssor_oblivious::frt::{FrtTree, Metric};
 use ssor_oblivious::{ObliviousRouting, RaeckeOptions, RaeckeRouting, ValiantRouting};
 use ssor_sim::{simulate, Scheduler, SimConfig};
+use std::time::Instant;
 
-fn bench_graph_substrate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("graph");
-    g.sample_size(20);
-    let q6 = generators::hypercube(6);
-    g.bench_function("dinic_min_cut_hypercube6", |b| {
-        b.iter(|| min_cut_value(&q6, 0, 63))
-    });
-    g.bench_function("hypercube_generate_d8", |b| {
-        b.iter(|| generators::hypercube(8))
-    });
-    let grid = generators::grid(8, 8);
-    g.bench_function("ksp_yen_k4_grid8x8", |b| {
-        b.iter(|| ssor_graph::ksp::k_shortest_paths(&grid, 0, 63, 4, &|_| 1.0))
-    });
-    g.finish();
+/// Times `f` over `iters` runs (after one warmup) and prints min/mean.
+fn bench<T>(group: &str, name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    let _warmup = f();
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed());
+        drop(out);
+    }
+    let min = times.iter().min().expect("nonempty");
+    let mean = times.iter().sum::<std::time::Duration>() / iters as u32;
+    println!(
+        "{group:>16} / {name:<40} min {:>10.1?}  mean {:>10.1?}  ({iters} iters)",
+        min, mean
+    );
 }
 
-fn bench_embeddings(c: &mut Criterion) {
-    let mut g = c.benchmark_group("embeddings");
-    g.sample_size(10);
+fn bench_graph_substrate() {
+    let q6 = generators::hypercube(6);
+    bench("graph", "dinic_min_cut_hypercube6", 20, || {
+        min_cut_value(&q6, 0, 63)
+    });
+    bench("graph", "hypercube_generate_d8", 20, || {
+        generators::hypercube(8)
+    });
+    let grid = generators::grid(8, 8);
+    bench("graph", "ksp_yen_k4_grid8x8", 20, || {
+        ssor_graph::ksp::k_shortest_paths(&grid, 0, 63, 4, &|_| 1.0)
+    });
+}
+
+fn bench_embeddings() {
     let grid = generators::grid(8, 8);
     let metric = Metric::hops(&grid);
-    g.bench_function("frt_sample_grid8x8", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| FrtTree::sample(&metric, grid.n(), &mut rng))
+    let mut rng = StdRng::seed_from_u64(1);
+    bench("embeddings", "frt_sample_grid8x8", 10, || {
+        FrtTree::sample(&metric, grid.n(), &mut rng)
     });
     let small = generators::grid(5, 5);
-    g.bench_function("raecke_build_grid5x5_8trees", |b| {
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| {
-            RaeckeRouting::build(&small, &RaeckeOptions { iterations: 8, epsilon: 0.5 }, &mut rng)
-        })
+    let mut rng2 = StdRng::seed_from_u64(2);
+    bench("embeddings", "raecke_build_grid5x5_8trees", 10, || {
+        RaeckeRouting::build(
+            &small,
+            &RaeckeOptions {
+                iterations: 8,
+                epsilon: 0.5,
+            },
+            &mut rng2,
+        )
     });
-    g.finish();
 }
 
-fn bench_sampling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sampling");
-    g.sample_size(20);
+fn bench_sampling() {
     let valiant = ValiantRouting::new(6);
     let pairs = all_pairs(64);
-    g.bench_function("alpha4_sample_hypercube6_all_pairs", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| alpha_sample(&valiant, &pairs, 4, &mut rng))
+    let mut rng = StdRng::seed_from_u64(3);
+    bench("sampling", "alpha4_sequential_hypercube6", 20, || {
+        alpha_sample(&valiant, &pairs, 4, &mut rng)
     });
-    g.finish();
+    bench("sampling", "alpha4_parallel_hypercube6", 20, || {
+        par_alpha_sample(&valiant, &pairs, 4, 3)
+    });
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("solvers");
-    g.sample_size(10);
+fn bench_engine() {
+    // Cold vs warm pipeline run: the warm run answers sampling, template,
+    // and OPT from the cache and only repeats the restricted solve.
+    let mk = || {
+        Pipeline::on(TopologySpec::Hypercube { dim: 6 })
+            .template(TemplateSpec::Valiant)
+            .alpha(4)
+            .seed(9)
+            .solve_options(SolveOptions::with_eps(0.1))
+            .demand("bit-reversal", DemandSpec::BitReversal)
+    };
+    bench("engine", "pipeline_run_cold_hypercube6", 5, || {
+        mk().run(&PathSystemCache::new())
+    });
+    let warm_cache = PathSystemCache::new();
+    mk().run(&warm_cache);
+    bench("engine", "pipeline_run_warm_hypercube6", 5, || {
+        mk().run(&warm_cache)
+    });
+}
+
+fn bench_solvers() {
     let valiant = ValiantRouting::new(6);
     let d = Demand::hypercube_bit_reversal(6);
     let mut rng = StdRng::seed_from_u64(4);
     let ps = alpha_sample(&valiant, &d.support(), 4, &mut rng);
     let opts = SolveOptions::with_eps(0.1);
-    g.bench_function("restricted_mwu_hypercube6_alpha4", |b| {
-        b.iter(|| min_congestion_restricted(valiant.graph(), &d, ps.as_map(), &opts))
+    bench("solvers", "restricted_mwu_hypercube6_alpha4", 10, || {
+        min_congestion_restricted(valiant.graph(), &d, ps.as_map(), &opts)
     });
     let grid = generators::grid(5, 5);
     let dperm = Demand::random_permutation(25, &mut rng);
-    g.bench_function("offline_opt_grid5x5_perm", |b| {
-        b.iter(|| min_congestion_unrestricted(&grid, &dperm, &opts))
+    bench("solvers", "offline_opt_grid5x5_perm", 10, || {
+        min_congestion_unrestricted(&grid, &dperm, &opts)
     });
-    g.finish();
 }
 
-fn bench_rounding_and_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rounding_sim");
-    g.sample_size(20);
+fn bench_rounding_and_sim() {
     let q5 = generators::hypercube(5);
     let d = Demand::hypercube_complement(5);
     let valiant = ValiantRouting::new(5);
     let mut rng = StdRng::seed_from_u64(5);
     let ps = alpha_sample(&valiant, &d.support(), 4, &mut rng);
     let sol = min_congestion_restricted(&q5, &d, ps.as_map(), &SolveOptions::with_eps(0.1));
-    g.bench_function("round_lemma63_hypercube5", |b| {
-        b.iter(|| round_routing(&q5, &sol.routing, &d, 8, &mut rng))
+    bench("rounding_sim", "round_lemma63_hypercube5", 20, || {
+        round_routing(&q5, &sol.routing, &d, 8, &mut rng)
     });
     let paths: Vec<Path> = d
         .support()
         .iter()
         .map(|&(s, t)| ssor_graph::shortest_path::bfs_path(&q5, s, t).unwrap())
         .collect();
-    g.bench_function("simulate_random_rank_hypercube5", |b| {
-        b.iter(|| simulate(&q5, &paths, &SimConfig { scheduler: Scheduler::RandomRank, seed: 7 }))
-    });
-    g.finish();
+    bench(
+        "rounding_sim",
+        "simulate_random_rank_hypercube5",
+        20,
+        || {
+            simulate(
+                &q5,
+                &paths,
+                &SimConfig {
+                    scheduler: Scheduler::RandomRank,
+                    seed: 7,
+                },
+            )
+        },
+    );
 }
 
-fn bench_paper_machinery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_machinery");
-    g.sample_size(10);
+fn bench_paper_machinery() {
     // Weak-routing dynamic process (Section 5.3).
     let valiant = ValiantRouting::new(5);
     let d = Demand::hypercube_complement(5);
     let mut rng = StdRng::seed_from_u64(6);
     let ms = sample_multiset(&valiant, &d.support(), |_, _| 4, &mut rng);
-    g.bench_function("weak_route_hypercube5_alpha4", |b| {
-        b.iter(|| weak_route(valiant.graph(), &ms, &d, 8.0))
+    bench("paper", "weak_route_hypercube5_alpha4", 10, || {
+        weak_route(valiant.graph(), &ms, &d, 8.0)
     });
     // Lemma 8.1 adversary on C(64, 8).
     let (cg, meta) = c_graph(64, 8);
@@ -132,19 +180,18 @@ fn bench_paper_machinery(c: &mut Criterion) {
             );
         }
     }
-    g.bench_function("lemma81_adversary_c64_8", |b| {
-        b.iter(|| find_adversarial_demand(&meta, &ps, 1))
+    bench("paper", "lemma81_adversary_c64_8", 10, || {
+        find_adversarial_demand(&meta, &ps, 1)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_graph_substrate,
-    bench_embeddings,
-    bench_sampling,
-    bench_solvers,
-    bench_rounding_and_sim,
-    bench_paper_machinery
-);
-criterion_main!(benches);
+fn main() {
+    println!("ssor pipeline micro-benchmarks (offline harness)\n");
+    bench_graph_substrate();
+    bench_embeddings();
+    bench_sampling();
+    bench_engine();
+    bench_solvers();
+    bench_rounding_and_sim();
+    bench_paper_machinery();
+}

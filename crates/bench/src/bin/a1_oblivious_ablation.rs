@@ -88,7 +88,9 @@ fn main() {
     let g = generators::random_regular(48, 4, &mut StdRng::seed_from_u64(3));
     let alpha = 4usize;
     let mut rng = StdRng::seed_from_u64(4);
-    let demands: Vec<Demand> = (0..4).map(|_| Demand::random_permutation(48, &mut rng)).collect();
+    let demands: Vec<Demand> = (0..4)
+        .map(|_| Demand::random_permutation(48, &mut rng))
+        .collect();
     let opts = SolveOptions::with_eps(0.07);
     println!("graph: random 4-regular, n = 48; α = {alpha}; 4 random permutation demands\n");
 
@@ -96,21 +98,35 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let push = |name: &str, r: f64, table: &mut Table, rows: &mut Vec<Row>| {
         table.row(&[name.to_string(), fx(r)]);
-        rows.push(Row { base_routing: name.into(), mean_ratio: r });
+        rows.push(Row {
+            base_routing: name.into(),
+            mean_ratio: r,
+        });
     };
 
     for iters in [4usize, 12, 24] {
         let raecke = RaeckeRouting::build(
             &g,
-            &RaeckeOptions { iterations: iters, epsilon: 0.5 },
+            &RaeckeOptions {
+                iterations: iters,
+                epsilon: 0.5,
+            },
             &mut StdRng::seed_from_u64(5),
         );
         let r = mean_ratio(&raecke, &g, &demands, alpha, &opts, 6);
-        push(&format!("Räcke MWU ({iters} trees)"), r, &mut table, &mut rows);
+        push(
+            &format!("Räcke MWU ({iters} trees)"),
+            r,
+            &mut table,
+            &mut rows,
+        );
     }
     {
         let trees = sample_tree_routings(&g, 12, &mut StdRng::seed_from_u64(7));
-        let ens = FrtEnsemble { graph: g.clone(), trees };
+        let ens = FrtEnsemble {
+            graph: g.clone(),
+            trees,
+        };
         let r = mean_ratio(&ens, &g, &demands, alpha, &opts, 8);
         push("FRT ensemble (12 trees, no MWU)", r, &mut table, &mut rows);
     }

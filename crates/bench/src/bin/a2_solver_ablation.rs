@@ -44,9 +44,17 @@ fn main() {
             valiant.graph(),
             &d,
             ps.as_map(),
-            &SolveOptions { eps, max_iters: 20_000 },
+            &SolveOptions {
+                eps,
+                max_iters: 20_000,
+            },
         );
-        table.row(&[f3(eps), f3(sol.congestion), f3(sol.gap()), sol.iterations.to_string()]);
+        table.row(&[
+            f3(eps),
+            f3(sol.congestion),
+            f3(sol.gap()),
+            sol.iterations.to_string(),
+        ]);
         rows.push(Row {
             eps,
             congestion: sol.congestion,
@@ -66,13 +74,22 @@ fn main() {
         small.graph(),
         &ds,
         pss.as_map(),
-        &SolveOptions { eps: 0.01, max_iters: 20_000 },
+        &SolveOptions {
+            eps: 0.01,
+            max_iters: 20_000,
+        },
     );
     println!("exact simplex optimum : {exact:.6}");
     println!("Frank-Wolfe primal    : {:.6}", fw.congestion);
     println!("Frank-Wolfe dual LB   : {:.6}", fw.lower_bound);
-    assert!(fw.congestion >= exact - 1e-6, "primal below exact optimum: impossible");
-    assert!(fw.lower_bound <= exact + 1e-6, "dual above exact optimum: certificate broken");
+    assert!(
+        fw.congestion >= exact - 1e-6,
+        "primal below exact optimum: impossible"
+    );
+    assert!(
+        fw.lower_bound <= exact + 1e-6,
+        "dual above exact optimum: certificate broken"
+    );
     println!("\nshape check: exact ∈ [dual, primal] — certificates honest; gap → 1 as eps → 0.");
 
     if let Some(p) = ssor_bench::save_json("a2_solver_ablation", &rows) {

@@ -37,7 +37,14 @@ fn main() {
     let opts = SolveOptions::with_eps(0.06);
     println!("graph: torus 6x6 (n = 36); demand: random permutation; α = 4 per scale\n");
 
-    let mut table = Table::new(&["landmarks", "β", "congestion", "dilation", "cong+dil", "union sparsity"]);
+    let mut table = Table::new(&[
+        "landmarks",
+        "β",
+        "congestion",
+        "dilation",
+        "cong+dil",
+        "union sparsity",
+    ]);
     let mut rows = Vec::new();
     for landmarks in [2usize, 8, 24] {
         for stretch in [1.5f64, 3.0, 6.0] {
@@ -48,7 +55,10 @@ fn main() {
                 &CompletionOptions {
                     alpha: 4,
                     growth: ScaleGrowth::Log,
-                    hop: HopOptions { landmarks, hop_stretch: stretch },
+                    hop: HopOptions {
+                        landmarks,
+                        hop_stretch: stretch,
+                    },
                 },
                 &mut rng,
             );

@@ -5,16 +5,16 @@
 //! reports the measured competitive ratio next to `log2(n)` — the ratio
 //! should stay bounded by a slowly-growing polylog while `n` grows by an
 //! order of magnitude.
+//!
+//! Runs on the `ssor-engine` pipeline: each family is a [`TopologySpec`]
+//! plus a demand batch, evaluated in parallel, with graphs, templates,
+//! and OPT baselines memoized in a shared [`PathSystemCache`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 use ssor_bench::{banner, f3, fx, Table};
 use ssor_core::chernoff::theorem_2_3_alpha;
-use ssor_core::{sample, SemiObliviousRouter};
-use ssor_flow::{Demand, SolveOptions};
-use ssor_graph::generators;
-use ssor_oblivious::{ObliviousRouting, RaeckeOptions, RaeckeRouting, ValiantRouting};
+use ssor_engine::{DemandSpec, EvalRecord, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
+use ssor_flow::SolveOptions;
 
 #[derive(Serialize)]
 struct Row {
@@ -28,6 +28,29 @@ struct Row {
     log2n: f64,
 }
 
+fn push(table: &mut Table, rows: &mut Vec<Row>, family: &str, n: usize, rec: &EvalRecord) {
+    table.row(&[
+        family.to_string(),
+        n.to_string(),
+        rec.alpha.to_string(),
+        rec.name.clone(),
+        f3(rec.congestion),
+        f3(rec.opt_lower_bound.unwrap_or(0.0)),
+        fx(rec.ratio.unwrap_or(0.0)),
+        f3((n as f64).log2()),
+    ]);
+    rows.push(Row {
+        family: family.into(),
+        n,
+        alpha: rec.alpha,
+        demand: rec.name.clone(),
+        semi_congestion: rec.congestion,
+        opt_lower_bound: rec.opt_lower_bound.unwrap_or(0.0),
+        ratio: rec.ratio.unwrap_or(0.0),
+        log2n: (n as f64).log2(),
+    });
+}
+
 fn main() {
     banner(
         "E1",
@@ -35,78 +58,77 @@ fn main() {
         "alpha = O(log n / log log n) sampled paths are O(log^3 n / log log n)-competitive on {0,1}-demands",
     );
     let opts = SolveOptions::with_eps(0.06);
+    let cache = PathSystemCache::new();
     let mut rows: Vec<Row> = Vec::new();
-    let mut table = Table::new(&["family", "n", "α", "demand", "semi-cong", "opt(lb)", "ratio(≤)", "log2(n)"]);
+    let mut table = Table::new(&[
+        "family",
+        "n",
+        "α",
+        "demand",
+        "semi-cong",
+        "opt(lb)",
+        "ratio(≤)",
+        "log2(n)",
+    ]);
 
     // Hypercubes with Valiant sampling.
     for dim in [5u32, 6, 7, 8] {
         let n = 1usize << dim;
-        let alpha = theorem_2_3_alpha(n);
-        let valiant = ValiantRouting::new(dim);
-        let mut rng = StdRng::seed_from_u64(100 + dim as u64);
-        for (dname, d) in [
-            ("bit-reversal", Demand::hypercube_bit_reversal(dim)),
-            ("random-perm", Demand::random_permutation(n, &mut rng)),
-        ] {
-            let ps = sample::alpha_sample(&valiant, &d.support(), alpha, &mut rng);
-            let router = SemiObliviousRouter::new(valiant.graph().clone(), ps);
-            let rep = router.competitive_report(&d, &opts);
-            table.row(&[
-                "hypercube".to_string(),
-                n.to_string(),
-                alpha.to_string(),
-                dname.to_string(),
-                f3(rep.semi_oblivious),
-                f3(rep.opt_lower_bound),
-                fx(rep.ratio),
-                f3((n as f64).log2()),
-            ]);
-            rows.push(Row {
-                family: "hypercube".into(),
-                n,
-                alpha,
-                demand: dname.into(),
-                semi_congestion: rep.semi_oblivious,
-                opt_lower_bound: rep.opt_lower_bound,
-                ratio: rep.ratio,
-                log2n: (n as f64).log2(),
-            });
+        let report = Pipeline::on(TopologySpec::Hypercube { dim })
+            .template(TemplateSpec::Valiant)
+            .alpha(theorem_2_3_alpha(n))
+            .seed(100 + dim as u64)
+            .solve_options(opts.clone())
+            .demand("bit-reversal", DemandSpec::BitReversal)
+            .demand(
+                "random-perm",
+                DemandSpec::RandomPermutation {
+                    seed: 100 + dim as u64,
+                },
+            )
+            .run(&cache);
+        for rec in &report.records {
+            push(&mut table, &mut rows, "hypercube", n, rec);
         }
     }
 
     // General graphs with Raecke sampling.
-    for (family, n, g) in [
-        ("grid", 64, generators::grid(8, 8)),
-        ("expander", 64, generators::random_regular(64, 4, &mut StdRng::seed_from_u64(9))),
-        ("expander", 128, generators::random_regular(128, 4, &mut StdRng::seed_from_u64(10))),
+    for (family, n, topo) in [
+        ("grid", 64, TopologySpec::Grid { rows: 8, cols: 8 }),
+        (
+            "expander",
+            64,
+            TopologySpec::RandomRegular {
+                n: 64,
+                degree: 4,
+                seed: 9,
+            },
+        ),
+        (
+            "expander",
+            128,
+            TopologySpec::RandomRegular {
+                n: 128,
+                degree: 4,
+                seed: 10,
+            },
+        ),
     ] {
-        let alpha = theorem_2_3_alpha(n);
-        let mut rng = StdRng::seed_from_u64(200 + n as u64);
-        let raecke = RaeckeRouting::build(&g, &RaeckeOptions::default(), &mut rng);
-        let d = Demand::random_permutation(n, &mut rng);
-        let ps = sample::alpha_sample(&raecke, &d.support(), alpha, &mut rng);
-        let router = SemiObliviousRouter::new(g.clone(), ps);
-        let rep = router.competitive_report(&d, &opts);
-        table.row(&[
-            family.to_string(),
-            n.to_string(),
-            alpha.to_string(),
-            "random-perm".to_string(),
-            f3(rep.semi_oblivious),
-            f3(rep.opt_lower_bound),
-            fx(rep.ratio),
-            f3((n as f64).log2()),
-        ]);
-        rows.push(Row {
-            family: family.into(),
-            n,
-            alpha,
-            demand: "random-perm".into(),
-            semi_congestion: rep.semi_oblivious,
-            opt_lower_bound: rep.opt_lower_bound,
-            ratio: rep.ratio,
-            log2n: (n as f64).log2(),
-        });
+        let report = Pipeline::on(topo)
+            .template(TemplateSpec::raecke())
+            .alpha(theorem_2_3_alpha(n))
+            .seed(200 + n as u64)
+            .solve_options(opts.clone())
+            .demand(
+                "random-perm",
+                DemandSpec::RandomPermutation {
+                    seed: 200 + n as u64,
+                },
+            )
+            .run(&cache);
+        for rec in &report.records {
+            push(&mut table, &mut rows, family, n, rec);
+        }
     }
 
     table.print();

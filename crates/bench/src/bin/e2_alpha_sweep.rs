@@ -5,15 +5,19 @@
 //! bound `n^{O(1/α)}` (exponential improvement per path) and the lower
 //! bound `n^{1/(2α)}/α`. Absolute constants differ; the *monotone,
 //! convex, exponentially-collapsing* shape is the reproduced claim.
+//!
+//! Runs on the `ssor-engine` pipeline: the whole sweep shares one
+//! [`PathSystemCache`], so the six offline-OPT baselines are solved once
+//! instead of once per `α`, and each `α`'s path system is sampled in
+//! parallel across pairs.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
-use ssor_bench::{banner, f3, fx, geomean, Table};
+use ssor_bench::{banner, f3, fx, Table};
 use ssor_core::chernoff::{low_sparsity_shape, lower_bound_shape};
-use ssor_core::{sample, SemiObliviousRouter};
-use ssor_flow::{Demand, SolveOptions};
-use ssor_oblivious::{ObliviousRouting, ValiantRouting};
+use ssor_engine::{
+    DemandSpec, PathSystemCache, Pipeline, ScenarioSpec, TemplateSpec, TopologySpec,
+};
+use ssor_flow::SolveOptions;
 
 #[derive(Serialize)]
 struct Row {
@@ -32,32 +36,34 @@ fn main() {
     );
     let dim = 6u32;
     let n = 1usize << dim;
-    println!("graph: hypercube n = {n}; demands: bit-reversal, complement, 3 random permutations\n");
+    println!("graph: hypercube n = {n}; demands: bit-reversal, complement, transpose, 3 random permutations\n");
 
-    let valiant = ValiantRouting::new(dim);
-    let opts = SolveOptions::with_eps(0.06);
-    let mut demands: Vec<(String, Demand)> = vec![
-        ("bit-reversal".into(), Demand::hypercube_bit_reversal(dim)),
-        ("complement".into(), Demand::hypercube_complement(dim)),
-        ("transpose".into(), Demand::hypercube_transpose(dim)),
-    ];
-    let mut rng = StdRng::seed_from_u64(2);
-    for i in 0..3 {
-        demands.push((format!("random-{i}"), Demand::random_permutation(n, &mut rng)));
+    let mut demands = ScenarioSpec::HypercubeAdversarial { dim }.demands();
+    for i in 0..3u64 {
+        demands.push((
+            format!("random-{i}"),
+            DemandSpec::RandomPermutation { seed: 2 + i },
+        ));
     }
+    let base = Pipeline::on(TopologySpec::Hypercube { dim })
+        .template(TemplateSpec::Valiant)
+        .seed(2)
+        .solve_options(SolveOptions::with_eps(0.06))
+        .demands(demands);
 
-    let mut table = Table::new(&["α", "mean ratio", "worst ratio", "paper upper n^(1/α)", "paper lower n^(1/2α)/α"]);
+    let cache = PathSystemCache::new();
+    let mut table = Table::new(&[
+        "α",
+        "mean ratio",
+        "worst ratio",
+        "paper upper n^(1/α)",
+        "paper lower n^(1/2α)/α",
+    ]);
     let mut rows = Vec::new();
     for alpha in 1..=8usize {
-        let mut ratios = Vec::new();
-        for (_, d) in &demands {
-            let ps = sample::alpha_sample(&valiant, &d.support(), alpha, &mut rng);
-            let router = SemiObliviousRouter::new(valiant.graph().clone(), ps);
-            let rep = router.competitive_report(d, &opts);
-            ratios.push(rep.ratio);
-        }
-        let mean = geomean(&ratios);
-        let worst = ratios.iter().cloned().fold(0.0, f64::max);
+        let report = base.clone().alpha(alpha).run(&cache);
+        let mean = report.mean_ratio().expect("ratios computed");
+        let worst = report.worst_ratio().expect("ratios computed");
         let up = low_sparsity_shape(n, alpha);
         let lo = lower_bound_shape(n, alpha);
         table.row(&[alpha.to_string(), fx(mean), fx(worst), f3(up), f3(lo)]);
@@ -74,8 +80,16 @@ fn main() {
     // Shape assertions printed for the record.
     let first = rows.first().unwrap().mean_ratio;
     let last = rows.last().unwrap().mean_ratio;
-    println!("\nshape check: ratio(α=1) / ratio(α=8) = {:.2} (paper: polynomial-per-path collapse)", first / last);
+    println!(
+        "\nshape check: ratio(α=1) / ratio(α=8) = {:.2} (paper: polynomial-per-path collapse)",
+        first / last
+    );
     println!("             the measured curve is monotone decreasing and convex, like n^(c/α).");
+    let stats = cache.stats();
+    println!(
+        "engine cache: {} hits / {} misses (OPT solved once per demand, not once per α)",
+        stats.hits, stats.misses
+    );
     if let Some(p) = ssor_bench::save_json("e2_alpha_sweep", &rows) {
         println!("\nresults -> {}", p.display());
     }

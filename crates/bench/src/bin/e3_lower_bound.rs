@@ -17,8 +17,11 @@ use serde::Serialize;
 use ssor_bench::{banner, f3, Table};
 use ssor_core::PathSystem;
 use ssor_flow::mincong::{min_congestion_restricted, SolveOptions};
-use ssor_lowerbound::{c_graph, certify_hitting, find_adversarial_demand, g_graph, k_for_alpha, optimal_witness, CGraphMeta};
 use ssor_graph::{Graph, Path};
+use ssor_lowerbound::{
+    c_graph, certify_hitting, find_adversarial_demand, g_graph, k_for_alpha, optimal_witness,
+    CGraphMeta,
+};
 
 #[derive(Serialize)]
 struct Row {
@@ -55,10 +58,27 @@ fn main() {
         "on C(n, k), k = n^{1/2α}: every α-sparse system admits a permutation demand with congestion ≥ k/α while OPT = 1",
     );
     let opts = SolveOptions::with_eps(0.03);
-    let mut table = Table::new(&["n", "α", "k", "matched", "certified ≥", "measured cong", "OPT_Z"]);
+    let mut table = Table::new(&[
+        "n",
+        "α",
+        "k",
+        "matched",
+        "certified ≥",
+        "measured cong",
+        "OPT_Z",
+    ]);
     let mut rows = Vec::new();
 
-    for (n, alpha) in [(36usize, 1usize), (64, 1), (144, 1), (256, 1), (64, 2), (256, 2), (576, 2), (1024, 2)] {
+    for (n, alpha) in [
+        (36usize, 1usize),
+        (64, 1),
+        (144, 1),
+        (256, 1),
+        (64, 2),
+        (256, 2),
+        (576, 2),
+        (1024, 2),
+    ] {
         let k = k_for_alpha(n, alpha).max(1);
         if alpha > k {
             // The construction is vacuous once α reaches k (any system can

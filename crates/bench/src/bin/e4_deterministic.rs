@@ -34,7 +34,16 @@ fn main() {
         "1 deterministic path forces Θ̃(sqrt(n)) congestion; O(log n) sampled paths route the same demands at polylog",
     );
     let opts = SolveOptions::with_eps(0.06);
-    let mut table = Table::new(&["n", "demand", "bit-fix cong", "sqrt(n)", "α-sample cong", "derand cong", "α", "opt(lb)"]);
+    let mut table = Table::new(&[
+        "n",
+        "demand",
+        "bit-fix cong",
+        "sqrt(n)",
+        "α-sample cong",
+        "derand cong",
+        "α",
+        "opt(lb)",
+    ]);
     let mut rows = Vec::new();
 
     for dim in [4u32, 6, 8] {
@@ -42,7 +51,10 @@ fn main() {
         let bitfix = BitFixingRouting::new(dim);
         let valiant = ValiantRouting::new(dim);
         let alpha = theorem_2_3_alpha(n);
-        let mut demands = vec![("bit-reversal".to_string(), Demand::hypercube_bit_reversal(dim))];
+        let mut demands = vec![(
+            "bit-reversal".to_string(),
+            Demand::hypercube_bit_reversal(dim),
+        )];
         if dim % 2 == 0 {
             demands.push(("transpose".to_string(), Demand::hypercube_transpose(dim)));
         }
@@ -56,7 +68,11 @@ fn main() {
             // The Section 1.1 deterministic selection (conditional
             // expectations over the Valiant support).
             let dps = ssor_core::derandomize::derandomized_sample(
-                &valiant, &d.support(), alpha, &Default::default());
+                &valiant,
+                &d.support(),
+                alpha,
+                &Default::default(),
+            );
             let drouter = SemiObliviousRouter::new(valiant.graph().clone(), dps);
             let dsol = drouter.route_fractional(&d, &opts);
             table.row(&[

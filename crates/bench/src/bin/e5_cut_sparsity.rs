@@ -36,7 +36,13 @@ fn main() {
     );
     let opts = SolveOptions::with_eps(0.03);
     let alpha = 2usize;
-    let mut table = Table::new(&["clique", "bridges(=cut)", "α", "α-sample ratio", "(α+cut)-sample ratio"]);
+    let mut table = Table::new(&[
+        "clique",
+        "bridges(=cut)",
+        "α",
+        "α-sample ratio",
+        "(α+cut)-sample ratio",
+    ]);
     let mut rows = Vec::new();
 
     for bridges in [2usize, 4, 6, 8] {
@@ -91,7 +97,10 @@ fn main() {
         ]);
     }
     bt.print();
-    println!("\n{} buckets cover the demand exactly (O(log m) predicted by Lemma 5.9).", buckets.len());
+    println!(
+        "\n{} buckets cover the demand exactly (O(log m) predicted by Lemma 5.9).",
+        buckets.len()
+    );
     if let Some(p) = ssor_bench::save_json("e5_cut_sparsity", &rows) {
         println!("\nresults -> {}", p.display());
     }

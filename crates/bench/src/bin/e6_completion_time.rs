@@ -6,19 +6,19 @@
 //! union-over-hop-scales router on the `congestion + dilation` objective,
 //! then schedules the rounded paths with the packet simulator to confirm
 //! the objective predicts real makespans.
+//!
+//! Runs on the `ssor-engine` pipeline: the two strategies are the same
+//! pipeline with the [`Objective`] switched, and stage 5 (round +
+//! simulate) is the engine's built-in simulation stage.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 use ssor_bench::{banner, f3, Table};
-use ssor_core::completion::{CompletionOptions, CompletionTimeRouter, ScaleGrowth};
-use ssor_core::sample::alpha_sample;
-use ssor_core::SemiObliviousRouter;
-use ssor_flow::rounding::round_routing;
-use ssor_flow::{Demand, SolveOptions};
-use ssor_graph::{generators, Graph};
-use ssor_oblivious::{RaeckeOptions, RaeckeRouting};
-use ssor_sim::{simulate_routing, Scheduler, SimConfig};
+use ssor_core::completion::ScaleGrowth;
+use ssor_engine::{
+    DemandSpec, EvalRecord, Objective, PathSystemCache, Pipeline, TemplateSpec, TopologySpec,
+};
+use ssor_flow::SolveOptions;
+use ssor_sim::{Scheduler, SimConfig};
 
 #[derive(Serialize)]
 struct Row {
@@ -30,35 +30,22 @@ struct Row {
     makespan: usize,
 }
 
-fn eval(
-    name: &str,
-    strategy: &str,
-    g: &Graph,
-    d: &Demand,
-    routing: ssor_flow::Routing,
-    rng: &mut StdRng,
-    table: &mut Table,
-    rows: &mut Vec<Row>,
-) {
-    let cong = routing.congestion(g, d);
-    let dil = routing.dilation(d);
-    let rounded = round_routing(g, &routing, d, 16, rng);
-    let sim = simulate_routing(g, &rounded.routing, &SimConfig { scheduler: Scheduler::RandomRank, seed: 11 });
+fn push(table: &mut Table, rows: &mut Vec<Row>, graph: &str, strategy: &str, rec: &EvalRecord) {
     table.row(&[
-        name.to_string(),
+        graph.to_string(),
         strategy.to_string(),
-        f3(cong),
-        dil.to_string(),
-        f3(cong + dil as f64),
-        sim.makespan.to_string(),
+        f3(rec.congestion),
+        rec.dilation.to_string(),
+        f3(rec.objective()),
+        rec.makespan.expect("integral demands simulate").to_string(),
     ]);
     rows.push(Row {
-        graph: name.into(),
+        graph: graph.into(),
         strategy: strategy.into(),
-        congestion: cong,
-        dilation: dil,
-        objective: cong + dil as f64,
-        makespan: sim.makespan,
+        congestion: rec.congestion,
+        dilation: rec.dilation,
+        objective: rec.objective(),
+        makespan: rec.makespan.unwrap_or(0),
     });
 }
 
@@ -68,54 +55,80 @@ fn main() {
         "Lemmas 2.8/2.9 (Section 7, completion time)",
         "sampling hop-constrained oblivious routings at O(log n / log log n) scales gives polylog cong+dil competitiveness",
     );
-    let opts = SolveOptions::with_eps(0.05);
-    let mut table = Table::new(&["graph", "strategy", "congestion", "dilation", "cong+dil", "makespan"]);
+    let cache = PathSystemCache::new();
+    let mut table = Table::new(&[
+        "graph",
+        "strategy",
+        "congestion",
+        "dilation",
+        "cong+dil",
+        "makespan",
+    ]);
     let mut rows = Vec::new();
 
-    let cases: Vec<(&str, Graph, Demand)> = vec![
+    let barbell_chain: Vec<(u32, u32)> = (0..7u32)
+        .map(|i| (i, i + 1))
+        .chain((0..7u32).map(|i| (8 + i, 8 + i + 1)))
+        .chain(std::iter::once((0, 8)))
+        .collect();
+    let cases: Vec<(&str, TopologySpec, DemandSpec)> = vec![
         (
             "barbell(8,10)",
-            generators::barbell(8, 10),
-            {
-                let mut d = Demand::new();
-                for i in 0..7u32 {
-                    d.set(i, i + 1, 1.0);
-                    d.set(8 + i, 8 + i + 1, 1.0);
-                }
-                d.set(0, 8, 1.0);
-                d
+            TopologySpec::Barbell {
+                size: 8,
+                path_len: 10,
             },
+            DemandSpec::Pairs(barbell_chain),
         ),
         (
             "ring(24)",
-            generators::ring(24),
-            Demand::from_pairs(&(0..12u32).map(|i| (i, i + 12)).collect::<Vec<_>>()),
+            TopologySpec::Ring { n: 24 },
+            DemandSpec::Pairs((0..12u32).map(|i| (i, i + 12)).collect()),
         ),
         (
             "torus(5,5)",
-            generators::torus(5, 5),
-            Demand::random_permutation(25, &mut StdRng::seed_from_u64(77)),
+            TopologySpec::Torus { rows: 5, cols: 5 },
+            DemandSpec::RandomPermutation { seed: 77 },
         ),
     ];
 
-    for (name, g, d) in cases {
-        let mut rng = StdRng::seed_from_u64(700);
+    for (name, topo, demand) in cases {
+        let base = Pipeline::on(topo)
+            .template(TemplateSpec::raecke())
+            .alpha(4)
+            .seed(700)
+            .solve_options(SolveOptions::with_eps(0.05))
+            .demand(name, demand)
+            .simulate(SimConfig {
+                scheduler: Scheduler::RandomRank,
+                seed: 11,
+            })
+            .without_opt();
+
         // Strategy A: congestion-only Räcke sample (ignores dilation).
-        let raecke = RaeckeRouting::build(&g, &RaeckeOptions::default(), &mut rng);
-        let ps = alpha_sample(&raecke, &d.support(), 4, &mut rng);
-        let router = SemiObliviousRouter::new(g.clone(), ps);
-        let sol = router.route_fractional(&d, &opts);
-        eval(name, "congestion-only", &g, &d, sol.routing, &mut rng, &mut table, &mut rows);
+        let a = base.clone().run(&cache);
+        push(
+            &mut table,
+            &mut rows,
+            name,
+            "congestion-only",
+            &a.records[0],
+        );
 
         // Strategy B: Section 7 hop-ladder router.
-        let comp = CompletionTimeRouter::build(
-            &g,
-            &d.support(),
-            &CompletionOptions { alpha: 4, growth: ScaleGrowth::Log, ..Default::default() },
-            &mut rng,
+        let b = base
+            .clone()
+            .objective(Objective::CompletionTime {
+                growth: ScaleGrowth::Log,
+            })
+            .run(&cache);
+        push(
+            &mut table,
+            &mut rows,
+            name,
+            "hop-ladder (§7)",
+            &b.records[0],
         );
-        let route = comp.route(&d, &opts);
-        eval(name, "hop-ladder (§7)", &g, &d, route.routing, &mut rng, &mut table, &mut rows);
     }
     table.print();
 

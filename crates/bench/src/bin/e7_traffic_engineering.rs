@@ -61,15 +61,27 @@ fn main() {
         wan.graph.m()
     );
     let model = GravityModel::sample(wan.n(), 80.0, &mut rng);
-    let snapshots: Vec<Demand> = (0..12).map(|t| model.snapshot(t * 2, 24, &mut rng)).collect();
+    let snapshots: Vec<Demand> = (0..12)
+        .map(|t| model.snapshot(t * 2, 24, &mut rng))
+        .collect();
     let pairs = snapshots[0].support();
-    println!("{} snapshots over a simulated day, {} demand pairs each\n", snapshots.len(), pairs.len());
+    println!(
+        "{} snapshots over a simulated day, {} demand pairs each\n",
+        snapshots.len(),
+        pairs.len()
+    );
 
     let opts = SolveOptions::with_eps(0.08);
     let raecke = RaeckeRouting::build(&wan.graph, &RaeckeOptions::default(), &mut rng);
     let ksp = KspRouting::new(&wan.graph, 4);
 
-    let mut table = Table::new(&["strategy", "sparsity", "mean ratio", "max ratio", "fail coverage"]);
+    let mut table = Table::new(&[
+        "strategy",
+        "sparsity",
+        "mean ratio",
+        "max ratio",
+        "fail coverage",
+    ]);
     let mut rows = Vec::new();
 
     // Semi-oblivious Räcke samples at several α.

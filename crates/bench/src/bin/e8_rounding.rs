@@ -33,16 +33,30 @@ fn main() {
         "any fractional routing rounds to an integral one on the same support with cong <= 2*cong_R + 3 ln m",
     );
     let opts = SolveOptions::with_eps(0.05);
-    let mut table = Table::new(&["graph", "m", "pairs", "cong_R", "cong_Z", "2cong_R+3ln(m)", "within"]);
+    let mut table = Table::new(&[
+        "graph",
+        "m",
+        "pairs",
+        "cong_R",
+        "cong_Z",
+        "2cong_R+3ln(m)",
+        "within",
+    ]);
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(900);
 
     let cases = vec![
         ("hypercube(5)", generators::hypercube(5)),
         ("grid(6x6)", generators::grid(6, 6)),
-        ("expander(48,4)", generators::random_regular(48, 4, &mut StdRng::seed_from_u64(1))),
+        (
+            "expander(48,4)",
+            generators::random_regular(48, 4, &mut StdRng::seed_from_u64(1)),
+        ),
         ("torus(6,6)", generators::torus(6, 6)),
-        ("er(40,.15)", generators::erdos_renyi(40, 0.15, &mut StdRng::seed_from_u64(2))),
+        (
+            "er(40,.15)",
+            generators::erdos_renyi(40, 0.15, &mut StdRng::seed_from_u64(2)),
+        ),
     ];
 
     for (name, g) in cases {

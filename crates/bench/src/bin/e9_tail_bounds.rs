@@ -37,10 +37,20 @@ fn main() {
     let n = 1usize << dim;
     let valiant = ValiantRouting::new(dim);
     let d = Demand::hypercube_complement(dim);
-    println!("graph: hypercube n = {n}; demand: complement permutation (siz = {})\n", d.size());
+    println!(
+        "graph: hypercube n = {n}; demand: complement permutation (siz = {})\n",
+        d.size()
+    );
 
     let trials = 60usize;
-    let mut table = Table::new(&["α", "γ", "trials", "success", "mean routed", "mean overcong edges"]);
+    let mut table = Table::new(&[
+        "α",
+        "γ",
+        "trials",
+        "success",
+        "mean routed",
+        "mean overcong edges",
+    ]);
     let mut rows = Vec::new();
     for alpha in [2usize, 4, 6] {
         for gamma in [2.0f64, 4.0, 8.0, 16.0] {

@@ -109,10 +109,17 @@ mod tests {
             let log_fail = log_main_lemma_failure(m, h, k);
             let term = log_count + log_fail;
             // log-sum-exp accumulate.
-            let (hi, lo) = if total >= term { (total, term) } else { (term, total) };
+            let (hi, lo) = if total >= term {
+                (total, term)
+            } else {
+                (term, total)
+            };
             total = hi + (lo - hi).exp().ln_1p();
         }
-        assert!(total <= -h * (m as f64).ln() + 1e-9, "union bound violated: {total}");
+        assert!(
+            total <= -h * (m as f64).ln() + 1e-9,
+            "union bound violated: {total}"
+        );
     }
 
     #[test]
@@ -132,10 +139,13 @@ mod tests {
     #[test]
     fn theorem_2_3_alpha_grows_slowly() {
         let tiny = theorem_2_3_alpha(2);
-        assert!((1..=4).contains(&tiny), "tiny n clamps to a small constant, got {tiny}");
+        assert!(
+            (1..=4).contains(&tiny),
+            "tiny n clamps to a small constant, got {tiny}"
+        );
         let a256 = theorem_2_3_alpha(256);
         let a65536 = theorem_2_3_alpha(65536);
-        assert!(a256 >= 2 && a256 <= 6, "a256 = {a256}");
+        assert!((2..=6).contains(&a256), "a256 = {a256}");
         assert!(a65536 >= a256);
         assert!(a65536 <= 8);
     }

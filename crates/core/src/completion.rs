@@ -119,7 +119,12 @@ impl CompletionTimeRouter {
             union = union.union(&ps);
             per_scale.push(ps);
         }
-        CompletionTimeRouter { graph: g.clone(), scales, per_scale, union }
+        CompletionTimeRouter {
+            graph: g.clone(),
+            scales,
+            per_scale,
+            union,
+        }
     }
 
     /// The hop-scale ladder.
@@ -152,7 +157,10 @@ impl CompletionTimeRouter {
                 routing: sol.routing,
                 scale_index: i,
             };
-            if best.as_ref().map_or(true, |b| cand.objective() < b.objective()) {
+            if best
+                .as_ref()
+                .is_none_or(|b| cand.objective() < b.objective())
+            {
                 best = Some(cand);
             }
         }
@@ -174,7 +182,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let r = CompletionTimeRouter::build(&g, &pairs, &Default::default(), &mut rng);
         assert_eq!(r.scales()[0], 1);
-        assert!(*r.scales().last().unwrap() >= 8, "top scale must reach the diameter");
+        assert!(
+            *r.scales().last().unwrap() >= 8,
+            "top scale must reach the diameter"
+        );
         for w in r.scales().windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -189,7 +200,10 @@ mod tests {
         let poly = CompletionTimeRouter::build(
             &g,
             &pairs,
-            &CompletionOptions { growth: ScaleGrowth::Poly { alpha: 1 }, ..Default::default() },
+            &CompletionOptions {
+                growth: ScaleGrowth::Poly { alpha: 1 },
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(poly.scales().len() <= log.scales().len());
@@ -201,7 +215,10 @@ mod tests {
         let d = Demand::hypercube_complement(4);
         let pairs = d.support();
         let mut rng = StdRng::seed_from_u64(3);
-        let opts = CompletionOptions { alpha: 3, ..Default::default() };
+        let opts = CompletionOptions {
+            alpha: 3,
+            ..Default::default()
+        };
         let r = CompletionTimeRouter::build(&g, &pairs, &opts, &mut rng);
         assert!(
             r.path_system().sparsity() <= 3 * r.scales().len(),
@@ -221,7 +238,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let r = CompletionTimeRouter::build(&g, &pairs, &Default::default(), &mut rng);
         let out = r.route(&d, &SolveOptions::default());
-        assert!(out.dilation <= 4, "intra-clique traffic must stay short, got {}", out.dilation);
+        assert!(
+            out.dilation <= 4,
+            "intra-clique traffic must stay short, got {}",
+            out.dilation
+        );
         assert!(out.objective() <= 6.0, "objective {}", out.objective());
     }
 

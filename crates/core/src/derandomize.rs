@@ -80,7 +80,7 @@ pub fn derandomized_sample<O: ObliviousRouting + ?Sized>(
                     .iter()
                     .map(|&e| (opts.beta * load[e as usize]).exp())
                     .sum();
-                if best.map_or(true, |(_, b)| cost < b) {
+                if best.is_none_or(|(_, b)| cost < b) {
                     best = Some((i, cost));
                 }
             }
@@ -141,7 +141,10 @@ mod tests {
         // (the potential punishes reusing loaded edges).
         let r = ValiantRouting::new(4);
         let ps = derandomized_sample(&r, &[(0, 15)], 4, &Default::default());
-        assert!(ps.paths(0, 15).unwrap().len() >= 3, "selection collapsed onto few paths");
+        assert!(
+            ps.paths(0, 15).unwrap().len() >= 3,
+            "selection collapsed onto few paths"
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl PathSystem {
     /// Whether every pair's candidate count is at most
     /// `alpha + cut_bound(s, t)` for a caller-supplied cut function —
     /// checks `(α + cut_G)`-sparsity per Definition 2.1.
-    pub fn is_cut_sparse(&self, alpha: usize, mut cut_bound: impl FnMut(VertexId, VertexId) -> usize) -> bool {
+    pub fn is_cut_sparse(
+        &self,
+        alpha: usize,
+        mut cut_bound: impl FnMut(VertexId, VertexId) -> usize,
+    ) -> bool {
         self.per_pair
             .iter()
             .all(|(&(s, t), ps)| ps.len() <= alpha + cut_bound(s, t))
@@ -137,9 +141,9 @@ impl PathSystem {
     /// Validates every path against `g`.
     pub fn is_valid(&self, g: &Graph) -> bool {
         self.per_pair.iter().all(|(&(s, t), paths)| {
-            paths.iter().all(|p| {
-                p.source() == s && p.target() == t && p.is_valid(g) && p.is_simple()
-            })
+            paths
+                .iter()
+                .all(|p| p.source() == s && p.target() == t && p.is_valid(g) && p.is_simple())
         })
     }
 

@@ -56,7 +56,12 @@ impl AuxGraph {
             aux_pairs.push((a, b));
             bridges.push((e1, e2));
         }
-        AuxGraph { graph: g2, aux_pairs, bridges, pairs: pairs.to_vec() }
+        AuxGraph {
+            graph: g2,
+            aux_pairs,
+            bridges,
+            pairs: pairs.to_vec(),
+        }
     }
 
     /// Maps a path between auxiliary endpoints back to the original graph
@@ -68,7 +73,10 @@ impl AuxGraph {
     /// Panics if the path does not start and end at auxiliary vertices of
     /// this reduction.
     pub fn map_back(&self, g: &Graph, p: &Path) -> Path {
-        assert!(p.hop() >= 2, "auxiliary paths have at least two bridge hops");
+        assert!(
+            p.hop() >= 2,
+            "auxiliary paths have at least two bridge hops"
+        );
         let inner = &p.edges()[1..p.edges().len() - 1];
         let start = p.vertices()[1];
         Path::from_edges(g, start, inner).expect("inner path lives in the original graph")
@@ -94,7 +102,11 @@ impl<'a, O: ObliviousRouting + ?Sized> AuxRouting<'a, O> {
             .enumerate()
             .map(|(i, &(a, _))| (a, i))
             .collect();
-        AuxRouting { aux, base, index_of }
+        AuxRouting {
+            aux,
+            base,
+            index_of,
+        }
     }
 
     fn extend(&self, i: usize, inner: Path) -> Path {
@@ -185,7 +197,11 @@ mod tests {
         assert_eq!(aux.graph.n(), 8 + 4);
         assert_eq!(aux.graph.m(), g.m() + 4);
         for &(a, b) in &aux.aux_pairs {
-            assert_eq!(min_cut_value(&aux.graph, a, b), 1, "Corollary 6.2's key property");
+            assert_eq!(
+                min_cut_value(&aux.graph, a, b),
+                1,
+                "Corollary 6.2's key property"
+            );
         }
     }
 

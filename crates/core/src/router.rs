@@ -81,7 +81,7 @@ impl SemiObliviousRouter {
     pub fn covers(&self, d: &Demand) -> bool {
         d.support()
             .iter()
-            .all(|&(s, t)| self.paths.paths(s, t).map_or(false, |p| !p.is_empty()))
+            .all(|&(s, t)| self.paths.paths(s, t).is_some_and(|p| !p.is_empty()))
     }
 
     /// Stage 4 (fractional): the demand-dependent optimal rates on the
@@ -121,7 +121,11 @@ impl SemiObliviousRouter {
             semi_oblivious: semi.congestion,
             opt_lower_bound: opt.lower_bound,
             opt_upper_bound: opt.congestion,
-            ratio: if d.is_empty() { 1.0 } else { semi.congestion / lb },
+            ratio: if d.is_empty() {
+                1.0
+            } else {
+                semi.congestion / lb
+            },
         }
     }
 }
@@ -173,7 +177,11 @@ mod tests {
         assert!(sol.routing.covers(&d));
         // Semi-oblivious congestion is at least the offline optimum.
         let rep = router.competitive_report(&d, &SolveOptions::default());
-        assert!(rep.ratio >= 0.9, "ratio {} below 1 is impossible", rep.ratio);
+        assert!(
+            rep.ratio >= 0.9,
+            "ratio {} below 1 is impossible",
+            rep.ratio
+        );
     }
 
     #[test]

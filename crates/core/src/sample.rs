@@ -154,7 +154,7 @@ mod tests {
         // 2 + cut(=3) = 5 draws; dedup may reduce, but the KSP support has
         // 8 distinct paths so we expect close to 5 distinct ones.
         let got = ps.paths(4, 9).unwrap().len();
-        assert!(got >= 2 && got <= 5, "got {got}");
+        assert!((2..=5).contains(&got), "got {got}");
         assert!(ps.is_cut_sparse(2, |s, t| min_cut_value(&g, s, t) as usize));
     }
 

@@ -25,7 +25,10 @@ pub struct CutCache<'a> {
 impl<'a> CutCache<'a> {
     /// Creates an empty cache for `graph`.
     pub fn new(graph: &'a Graph) -> Self {
-        CutCache { graph, cache: HashMap::new() }
+        CutCache {
+            graph,
+            cache: HashMap::new(),
+        }
     }
 
     /// `cut_G(s, t)`, memoized per unordered pair.
@@ -103,7 +106,11 @@ pub fn bucket_decompose(g: &Graph, d: &Demand, alpha: usize) -> Vec<Bucket> {
                 special.set(s, t, cuts.cnt(alpha, s, t) as f64);
             }
             // ratio in [2^b, 2^{b+1}) => part <= 2^{b+1} * special.
-            Bucket { part, special, scale: 2f64.powi(b + 1) }
+            Bucket {
+                part,
+                special,
+                scale: 2f64.powi(b + 1),
+            }
         })
         .collect()
 }
@@ -193,7 +200,12 @@ pub fn weak_to_strong(
 
     let routing = combined.unwrap_or_default();
     let congestion = routing.congestion(g, &covered);
-    StrongRouteResult { routing, covered, rounds, congestion }
+    StrongRouteResult {
+        routing,
+        covered,
+        rounds,
+        congestion,
+    }
 }
 
 /// Convenience: a weak router backed by the Section 5.3 process over a
@@ -234,7 +246,10 @@ mod tests {
         d.set(1, 6, 10.0);
         d.set(2, 5, 100.0);
         let buckets = bucket_decompose(&g, &d, 2);
-        assert!(buckets.len() >= 2, "widely-spread ratios need multiple buckets");
+        assert!(
+            buckets.len() >= 2,
+            "widely-spread ratios need multiple buckets"
+        );
         let mut sum = Demand::new();
         for b in &buckets {
             sum = sum.plus(&b.part);
@@ -275,8 +290,13 @@ mod tests {
         }
         // Congestion within the Lemma 5.8 budget: O(gamma log m) plus the
         // remainder term.
-        let bound = 4.0 * gamma * (r.graph().m() as f64).ln() + d.size() / r.graph().m() as f64 + gamma;
-        assert!(out.congestion <= bound, "cong {} vs bound {bound}", out.congestion);
+        let bound =
+            4.0 * gamma * (r.graph().m() as f64).ln() + d.size() / r.graph().m() as f64 + gamma;
+        assert!(
+            out.congestion <= bound,
+            "cong {} vs bound {bound}",
+            out.congestion
+        );
         assert!(out.rounds >= 1);
     }
 

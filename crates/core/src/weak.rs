@@ -93,7 +93,12 @@ pub fn weak_route(g: &Graph, samples: &SampleMultiset, d: &Demand, gamma: f64) -
         assert!(!paths.is_empty());
         let w = dem / paths.len() as f64;
         for p in paths {
-            items.push(Item { pair: (s, t), path: p.clone(), weight: w, alive: true });
+            items.push(Item {
+                pair: (s, t),
+                path: p.clone(),
+                weight: w,
+                alive: true,
+            });
         }
     }
 
@@ -129,7 +134,10 @@ pub fn weak_route(g: &Graph, samples: &SampleMultiset, d: &Demand, gamma: f64) -
     let mut per_pair: BTreeMap<(VertexId, VertexId), Vec<(Path, f64)>> = BTreeMap::new();
     for it in &items {
         if it.alive {
-            per_pair.entry(it.pair).or_default().push((it.path.clone(), it.weight));
+            per_pair
+                .entry(it.pair)
+                .or_default()
+                .push((it.path.clone(), it.weight));
         }
     }
     let mut routed = Demand::new();
@@ -142,8 +150,18 @@ pub fn weak_route(g: &Graph, samples: &SampleMultiset, d: &Demand, gamma: f64) -
         }
     }
     let size = d.size();
-    let routed_fraction = if size > 0.0 { routed.size() / size } else { 1.0 };
-    WeakRouteResult { routed, routing, deltas, gamma, routed_fraction }
+    let routed_fraction = if size > 0.0 {
+        routed.size() / size
+    } else {
+        1.0
+    };
+    WeakRouteResult {
+        routed,
+        routing,
+        deltas,
+        gamma,
+        routed_fraction,
+    }
 }
 
 /// Checks the three bullets of Lemma 5.10 on a process outcome:
@@ -174,7 +192,11 @@ mod tests {
     use rand::SeedableRng;
     use ssor_oblivious::ValiantRouting;
 
-    fn complement_setup(dim: u32, alpha: usize, seed: u64) -> (ValiantRouting, SampleMultiset, Demand) {
+    fn complement_setup(
+        dim: u32,
+        alpha: usize,
+        seed: u64,
+    ) -> (ValiantRouting, SampleMultiset, Demand) {
         let r = ValiantRouting::new(dim);
         let d = Demand::hypercube_complement(dim);
         let pairs = d.support();
@@ -226,7 +248,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 9, "only {successes}/10 runs routed half the demand");
+        assert!(
+            successes >= 9,
+            "only {successes}/10 runs routed half the demand"
+        );
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Memoization across pipeline runs.
+//!
+//! Sweeps (over `α`, over demands, over schedulers) repeat expensive
+//! sub-computations: building a Räcke template is a multiplicative-weights
+//! loop, sampling a path system touches every pair, and the unrestricted
+//! OPT solve — the denominator of every competitive report — depends only
+//! on `(topology, demand)`, not on `α` at all. [`PathSystemCache`] memoizes
+//! all four stages behind hashable spec keys, so an 8-point `α`-sweep pays
+//! for its graphs, templates, and OPT baselines exactly once.
+
+use crate::spec::{DemandSpec, TemplateSpec, TopologySpec};
+use ssor_core::PathSystem;
+use ssor_lowerbound::graphs::CGraphMeta;
+use ssor_oblivious::ObliviousRouting;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared oblivious-routing template.
+pub type SharedTemplate = Arc<dyn ObliviousRouting + Send + Sync>;
+
+/// A built graph together with its lower-bound gadget metadata (when the
+/// topology has any).
+pub type SharedGraph = Arc<(ssor_graph::Graph, Option<CGraphMeta>)>;
+
+/// The issue's cache key for a sampled path system:
+/// `(topology, template, α, seed)`.
+type PathKey = (TopologySpec, TemplateSpec, usize, u64);
+
+/// Cache key for OPT bounds: `(topology, demand, eps bits, max_iters)` —
+/// the full provenance of a certified bound.
+type OptKey = (TopologySpec, DemandSpec, u64, usize);
+
+/// Certified bounds from an unrestricted min-congestion solve (the parts
+/// of a `MinCongSolution` worth memoizing).
+#[derive(Debug, Clone, Copy)]
+pub struct OptBounds {
+    /// Primal value: an upper bound on the offline optimum.
+    pub congestion: f64,
+    /// Certified dual lower bound on the offline optimum.
+    pub lower_bound: f64,
+}
+
+/// Cache hit/miss counters (one pair per store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to compute.
+    pub misses: usize,
+}
+
+/// Memoizes built graphs, templates, sampled path systems, and OPT
+/// bounds behind the crate's hashable spec keys.
+///
+/// Path systems are keyed by `(topology, template, α, seed)` — the
+/// complete provenance of a Definition 5.2 sample — so sweeps over `α` or
+/// demands never re-sample, and repeated runs of the same configuration
+/// are free.
+///
+/// The cache is internally synchronized: share one instance (by reference
+/// or `Arc`) across every pipeline of a sweep.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_engine::{PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
+///
+/// let cache = PathSystemCache::new();
+/// let p = Pipeline::on(TopologySpec::Hypercube { dim: 3 })
+///     .template(TemplateSpec::Valiant)
+///     .alpha(2);
+/// let first = p.prepare(&cache);
+/// let again = p.prepare(&cache);
+/// // Same key -> the identical cached path system, not a re-sample.
+/// assert_eq!(first.paths().total_paths(), again.paths().total_paths());
+/// assert!(cache.stats().hits > 0);
+/// ```
+#[derive(Default)]
+pub struct PathSystemCache {
+    graphs: Mutex<HashMap<TopologySpec, SharedGraph>>,
+    templates: Mutex<HashMap<(TopologySpec, TemplateSpec, u64), SharedTemplate>>,
+    paths: Mutex<HashMap<PathKey, Arc<PathSystem>>>,
+    opt: Mutex<HashMap<OptKey, OptBounds>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl std::fmt::Debug for PathSystemCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathSystemCache")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Double-checked get-or-compute: the lock is released during `compute`,
+/// so concurrent pipeline stages never serialize on each other's solves.
+/// Two threads may race to compute the same key; the first insert wins
+/// (all computations here are deterministic, so both results agree).
+fn get_or_compute<K: std::hash::Hash + Eq + Clone, V: Clone>(
+    map: &Mutex<HashMap<K, V>>,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> V {
+    if let Some(v) = map.lock().expect("cache lock").get(&key) {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return v.clone();
+    }
+    misses.fetch_add(1, Ordering::Relaxed);
+    let v = compute();
+    map.lock()
+        .expect("cache lock")
+        .entry(key)
+        .or_insert(v)
+        .clone()
+}
+
+impl PathSystemCache {
+    /// An empty cache.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::PathSystemCache;
+    /// let cache = PathSystemCache::new();
+    /// assert_eq!(cache.stats().hits, 0);
+    /// ```
+    pub fn new() -> Self {
+        PathSystemCache::default()
+    }
+
+    /// The built graph (plus lower-bound gadget metadata, when the
+    /// topology has any) for `topo`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{PathSystemCache, TopologySpec};
+    /// let cache = PathSystemCache::new();
+    /// let g = cache.graph(&TopologySpec::Ring { n: 7 });
+    /// assert_eq!(g.0.n(), 7);
+    /// ```
+    pub fn graph(&self, topo: &TopologySpec) -> SharedGraph {
+        get_or_compute(&self.graphs, &self.hits, &self.misses, topo.clone(), || {
+            Arc::new(topo.build())
+        })
+    }
+
+    /// The built oblivious template for `(topo, template, seed)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{PathSystemCache, TemplateSpec, TopologySpec};
+    /// let cache = PathSystemCache::new();
+    /// let topo = TopologySpec::Hypercube { dim: 3 };
+    /// let t = cache.template(&topo, &TemplateSpec::Valiant, 1);
+    /// assert_eq!(t.graph().n(), 8);
+    /// ```
+    pub fn template(
+        &self,
+        topo: &TopologySpec,
+        template: &TemplateSpec,
+        seed: u64,
+    ) -> SharedTemplate {
+        let key = (topo.clone(), template.clone(), seed);
+        get_or_compute(&self.templates, &self.hits, &self.misses, key, || {
+            let g = self.graph(topo);
+            template.build(topo, &g.0, seed)
+        })
+    }
+
+    /// The sampled path system for `(topo, template, alpha, seed)`,
+    /// computing it with `sample` on a miss.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_core::PathSystem;
+    /// use ssor_engine::{PathSystemCache, TemplateSpec, TopologySpec};
+    /// use std::sync::Arc;
+    ///
+    /// let cache = PathSystemCache::new();
+    /// let topo = TopologySpec::Ring { n: 4 };
+    /// let key_template = TemplateSpec::ShortestPath;
+    /// let a = cache.paths(&topo, &key_template, 2, 0, || Arc::new(PathSystem::new()));
+    /// let b = cache.paths(&topo, &key_template, 2, 0, || panic!("cached"));
+    /// assert_eq!(a.total_paths(), b.total_paths());
+    /// ```
+    pub fn paths(
+        &self,
+        topo: &TopologySpec,
+        template: &TemplateSpec,
+        alpha: usize,
+        seed: u64,
+        sample: impl FnOnce() -> Arc<PathSystem>,
+    ) -> Arc<PathSystem> {
+        let key = (topo.clone(), template.clone(), alpha, seed);
+        get_or_compute(&self.paths, &self.hits, &self.misses, key, sample)
+    }
+
+    /// Certified OPT bounds for `(topo, demand, solver options)`,
+    /// computing with `solve` on a miss. Both `eps` (bit-exact) and
+    /// `max_iters` enter the key, because a looser or shorter solve
+    /// certifies looser bounds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{DemandSpec, OptBounds, PathSystemCache, TopologySpec};
+    /// use ssor_flow::SolveOptions;
+    ///
+    /// let cache = PathSystemCache::new();
+    /// let topo = TopologySpec::Ring { n: 6 };
+    /// let spec = DemandSpec::Pairs(vec![(0, 3)]);
+    /// let opts = SolveOptions::with_eps(0.1);
+    /// let solve = || OptBounds { congestion: 0.5, lower_bound: 0.5 };
+    /// let first = cache.opt_bounds(&topo, &spec, &opts, solve);
+    /// let cached = cache.opt_bounds(&topo, &spec, &opts, || unreachable!());
+    /// assert_eq!(first.congestion, cached.congestion);
+    /// ```
+    pub fn opt_bounds(
+        &self,
+        topo: &TopologySpec,
+        demand: &DemandSpec,
+        opts: &ssor_flow::SolveOptions,
+        solve: impl FnOnce() -> OptBounds,
+    ) -> OptBounds {
+        let key = (
+            topo.clone(),
+            demand.clone(),
+            opts.eps.to_bits(),
+            opts.max_iters,
+        );
+        get_or_compute(&self.opt, &self.hits, &self.misses, key, solve)
+    }
+
+    /// Aggregate hit/miss counters over all four stores.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{PathSystemCache, TopologySpec};
+    /// let cache = PathSystemCache::new();
+    /// let topo = TopologySpec::Ring { n: 5 };
+    /// cache.graph(&topo);
+    /// cache.graph(&topo);
+    /// assert_eq!(cache.stats(), ssor_engine::CacheStats { hits: 1, misses: 1 });
+    /// ```
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TemplateSpec, TopologySpec};
+
+    #[test]
+    fn graphs_are_cached_per_spec() {
+        let cache = PathSystemCache::new();
+        let a = cache.graph(&TopologySpec::Hypercube { dim: 3 });
+        let b = cache.graph(&TopologySpec::Hypercube { dim: 3 });
+        assert!(Arc::ptr_eq(&a, &b), "same Arc returned");
+        let c = cache.graph(&TopologySpec::Hypercube { dim: 4 });
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn template_seed_is_part_of_the_key() {
+        let cache = PathSystemCache::new();
+        let topo = TopologySpec::Grid { rows: 2, cols: 3 };
+        let a = cache.template(&topo, &TemplateSpec::raecke(), 1);
+        let b = cache.template(&topo, &TemplateSpec::raecke(), 2);
+        let a2 = cache.template(&topo, &TemplateSpec::raecke(), 1);
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn alpha_distinguishes_path_keys() {
+        let cache = PathSystemCache::new();
+        let topo = TopologySpec::Ring { n: 4 };
+        let t = TemplateSpec::ShortestPath;
+        let mk = |n: usize| {
+            move || {
+                let mut ps = PathSystem::new();
+                let g = ssor_graph::generators::ring(4);
+                for i in 0..n as u32 {
+                    ps.insert(ssor_graph::Path::from_vertices(&g, &[i, i + 1]).unwrap());
+                }
+                Arc::new(ps)
+            }
+        };
+        let one = cache.paths(&topo, &t, 1, 0, mk(1));
+        let two = cache.paths(&topo, &t, 2, 0, mk(2));
+        assert_eq!(one.total_paths(), 1);
+        assert_eq!(two.total_paths(), 2);
+    }
+
+    #[test]
+    fn opt_bounds_key_on_eps_bits() {
+        let cache = PathSystemCache::new();
+        let topo = TopologySpec::Ring { n: 6 };
+        let d = DemandSpec::Pairs(vec![(0, 2)]);
+        let loose = ssor_flow::SolveOptions::with_eps(0.1);
+        let tight = ssor_flow::SolveOptions::with_eps(0.05);
+        let a = cache.opt_bounds(&topo, &d, &loose, || OptBounds {
+            congestion: 1.0,
+            lower_bound: 0.9,
+        });
+        let b = cache.opt_bounds(&topo, &d, &tight, || OptBounds {
+            congestion: 1.0,
+            lower_bound: 0.97,
+        });
+        assert!(a.lower_bound < b.lower_bound);
+        let a2 = cache.opt_bounds(&topo, &d, &loose, || unreachable!("cached"));
+        assert_eq!(a2.lower_bound, a.lower_bound);
+        // Same eps but a longer solve is a different certificate.
+        let longer = ssor_flow::SolveOptions {
+            max_iters: loose.max_iters * 10,
+            ..loose.clone()
+        };
+        let c = cache.opt_bounds(&topo, &d, &longer, || OptBounds {
+            congestion: 1.0,
+            lower_bound: 0.95,
+        });
+        assert!(c.lower_bound > a.lower_bound);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache = PathSystemCache::new();
+        let topo = TopologySpec::Ring { n: 3 };
+        cache.graph(&topo);
+        cache.graph(&topo);
+        cache.graph(&topo);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+    }
+}

@@ -30,7 +30,14 @@ pub fn net_outflow(g: &Graph, flow: &EdgeFlow, v: VertexId) -> f64 {
 
 /// Checks conservation: every vertex except `s` and `t` has zero net
 /// outflow; `s` has `+value`, `t` has `-value` (within `tol`).
-pub fn is_conserving(g: &Graph, flow: &EdgeFlow, s: VertexId, t: VertexId, value: f64, tol: f64) -> bool {
+pub fn is_conserving(
+    g: &Graph,
+    flow: &EdgeFlow,
+    s: VertexId,
+    t: VertexId,
+    value: f64,
+    tol: f64,
+) -> bool {
     g.vertices().all(|v| {
         let net = net_outflow(g, flow, v);
         let expect = if v == s {

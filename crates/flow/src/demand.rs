@@ -59,7 +59,10 @@ impl Demand {
     ///
     /// Panics if `s == t` with `w > 0`, or if `w` is negative/NaN.
     pub fn set(&mut self, s: VertexId, t: VertexId, w: f64) {
-        assert!(w >= 0.0 && w.is_finite(), "demand must be finite and nonnegative");
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "demand must be finite and nonnegative"
+        );
         if w == 0.0 {
             self.entries.remove(&(s, t));
         } else {
@@ -249,7 +252,10 @@ impl Demand {
     ///
     /// Panics if `dim` is odd.
     pub fn hypercube_transpose(dim: u32) -> Demand {
-        assert!(dim % 2 == 0, "transpose permutation needs even dimension");
+        assert!(
+            dim.is_multiple_of(2),
+            "transpose permutation needs even dimension"
+        );
         let half = dim / 2;
         let n = 1u32 << dim;
         let tr = |v: u32| {
@@ -367,7 +373,9 @@ mod tests {
 
     #[test]
     fn from_iterator_accumulates() {
-        let d: Demand = vec![((0u32, 1u32), 1.0), ((0, 1), 2.0)].into_iter().collect();
+        let d: Demand = vec![((0u32, 1u32), 1.0), ((0, 1), 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!(d.get(0, 1), 3.0);
     }
 }

@@ -39,7 +39,7 @@ pub fn integral_opt_restricted(
         return Some((0, IntegralRouting::new()));
     }
     for &(s, t) in &packets {
-        if candidates.get(&(s, t)).map_or(true, |c| c.is_empty()) {
+        if candidates.get(&(s, t)).is_none_or(|c| c.is_empty()) {
             return None;
         }
     }
@@ -49,6 +49,7 @@ pub fn integral_opt_restricted(
     let mut choice = vec![0usize; packets.len()];
     let mut loads = vec![0u64; g.m()];
 
+    #[allow(clippy::too_many_arguments)] // branch-and-bound state threaded explicitly
     fn rec(
         i: usize,
         packets: &[(VertexId, VertexId)],
@@ -75,7 +76,16 @@ pub fn integral_opt_restricted(
                 new_max = new_max.max(loads[e as usize]);
             }
             choice[i] = ci;
-            rec(i + 1, packets, candidates, loads, choice, best, best_choice, new_max);
+            rec(
+                i + 1,
+                packets,
+                candidates,
+                loads,
+                choice,
+                best,
+                best_choice,
+                new_max,
+            );
             for &e in p.edges() {
                 loads[e as usize] -= 1;
             }
@@ -111,7 +121,11 @@ pub fn integral_opt_restricted(
 /// Exact `opt_{G,Z}(d)` over *all* simple paths of hop length at most
 /// `max_hop`, via exhaustive enumeration plus [`integral_opt_restricted`].
 /// Only for tiny graphs.
-pub fn integral_opt_exhaustive(g: &Graph, d: &Demand, max_hop: usize) -> Option<(u64, IntegralRouting)> {
+pub fn integral_opt_exhaustive(
+    g: &Graph,
+    d: &Demand,
+    max_hop: usize,
+) -> Option<(u64, IntegralRouting)> {
     let mut candidates: BTreeMap<(VertexId, VertexId), Vec<Path>> = BTreeMap::new();
     for (s, t) in d.support() {
         let paths = all_simple_paths(g, s, t, max_hop);

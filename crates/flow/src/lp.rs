@@ -73,13 +73,11 @@ pub fn solve_equality_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpResult {
 
     // Phase 1: minimize sum of artificials.
     let mut obj = vec![0.0f64; total + 1];
-    for j in n..total {
-        obj[j] = 1.0;
-    }
+    obj[n..total].fill(1.0);
     // Reduce objective over the initial basis.
-    for i in 0..m {
-        for j in 0..=total {
-            obj[j] -= t[i][j];
+    for row in t.iter().take(m) {
+        for (o, tv) in obj.iter_mut().zip(row.iter()) {
+            *o -= tv;
         }
     }
     if !run_simplex(&mut t, &mut obj, &mut basis, total) {
@@ -99,24 +97,20 @@ pub fn solve_equality_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpResult {
 
     // Phase 2: original objective, with artificial columns frozen.
     let mut obj2 = vec![0.0f64; total + 1];
-    for j in 0..n {
-        obj2[j] = c[j];
-    }
+    obj2[..n].copy_from_slice(&c[..n]);
     for i in 0..m {
         let bj = basis[i];
         if bj < n && c[bj].abs() > 0.0 {
             let coef = obj2[bj];
             if coef.abs() > 0.0 {
-                for j in 0..=total {
-                    obj2[j] -= coef * t[i][j];
+                for (o, tv) in obj2.iter_mut().zip(t[i].iter()) {
+                    *o -= coef * tv;
                 }
             }
         }
     }
     // Forbid artificial columns from entering.
-    for j in n..total {
-        obj2[j] = f64::INFINITY;
-    }
+    obj2[n..total].fill(f64::INFINITY);
     if !run_simplex(&mut t, &mut obj2, &mut basis, total) {
         return LpResult::Unbounded;
     }
@@ -148,7 +142,7 @@ fn run_simplex(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], total: 
             if t[i][j] > EPS {
                 let ratio = t[i][total] / t[i][j];
                 if ratio < best - EPS
-                    || (ratio < best + EPS && leave.map_or(true, |l| basis[i] < basis[l]))
+                    || (ratio < best + EPS && leave.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -162,21 +156,32 @@ fn run_simplex(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], total: 
     }
 }
 
-fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], row: usize, col: usize, total: usize) {
+fn pivot(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
     let m = t.len();
     let pv = t[row][col];
     debug_assert!(pv.abs() > EPS);
-    for j in 0..=total {
-        t[row][j] /= pv;
+    for tv in t[row].iter_mut().take(total + 1) {
+        *tv /= pv;
     }
-    for i in 0..m {
-        if i != row && t[i][col].abs() > EPS {
-            let f = t[i][col];
-            for j in 0..=total {
-                t[i][j] -= f * t[row][j];
+    // Take the pivot row out so the eliminations can borrow it immutably
+    // while mutating the other rows (no per-pivot allocation).
+    let pivot_row = std::mem::take(&mut t[row]);
+    for (i, trow) in t.iter_mut().enumerate().take(m) {
+        if i != row && trow[col].abs() > EPS {
+            let f = trow[col];
+            for (tv, pv) in trow.iter_mut().zip(pivot_row.iter()) {
+                *tv -= f * pv;
             }
         }
     }
+    t[row] = pivot_row;
     if obj[col].is_finite() && obj[col].abs() > EPS {
         let f = obj[col];
         for j in 0..=total {
@@ -270,10 +275,7 @@ mod tests {
     #[test]
     fn solves_tiny_lp() {
         // min -x - y  s.t. x + y + s = 4, x + 2y + t = 6  (i.e. <= rows)
-        let a = vec![
-            vec![1.0, 1.0, 1.0, 0.0],
-            vec![1.0, 2.0, 0.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, 2.0, 0.0, 1.0]];
         let b = vec![4.0, 6.0];
         let c = vec![-1.0, -1.0, 0.0, 0.0];
         match solve_equality_form(&a, &b, &c) {
@@ -376,7 +378,10 @@ mod tests {
                 &g,
                 &d,
                 &cands,
-                &SolveOptions { eps: 0.01, max_iters: 4000 },
+                &SolveOptions {
+                    eps: 0.01,
+                    max_iters: 4000,
+                },
             );
             assert!(
                 fw.congestion <= exact * 1.03 + 1e-6,

@@ -94,7 +94,7 @@ impl PathOracle for CandidateOracle<'_> {
                 let mut best: Option<(usize, f64)> = None;
                 for (i, p) in cands.iter().enumerate() {
                     let cost: f64 = p.edges().iter().map(|&e| w[e as usize]).sum();
-                    if best.map_or(true, |(_, bc)| cost < bc) {
+                    if best.is_none_or(|(_, bc)| cost < bc) {
                         best = Some((i, cost));
                     }
                 }
@@ -151,14 +151,20 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { eps: 0.05, max_iters: 600 }
+        SolveOptions {
+            eps: 0.05,
+            max_iters: 600,
+        }
     }
 }
 
 impl SolveOptions {
     /// Preset with a custom gap target.
     pub fn with_eps(eps: f64) -> Self {
-        SolveOptions { eps, ..Default::default() }
+        SolveOptions {
+            eps,
+            ..Default::default()
+        }
     }
 }
 
@@ -371,7 +377,12 @@ pub fn min_congestion(
         routing.set_distribution(st.pair.0, st.pair.1, dist);
     }
     let congestion = routing.congestion(g, d);
-    MinCongSolution { routing, congestion, lower_bound, iterations }
+    MinCongSolution {
+        routing,
+        congestion,
+        lower_bound,
+        iterations,
+    }
 }
 
 /// Stage-4 rate adaptation: `cong_R(P, d)` over the candidate sets
@@ -402,7 +413,10 @@ mod tests {
     use ssor_graph::generators;
 
     fn opts() -> SolveOptions {
-        SolveOptions { eps: 0.02, max_iters: 2000 }
+        SolveOptions {
+            eps: 0.02,
+            max_iters: 2000,
+        }
     }
 
     #[test]
@@ -437,7 +451,11 @@ mod tests {
         g.add_edge(0, 1);
         let d = Demand::from_pairs(&[(0, 1)]).scaled(3.0);
         let sol = min_congestion_unrestricted(&g, &d, &opts());
-        assert!((sol.congestion - 1.0).abs() < 0.05, "congestion = {}", sol.congestion);
+        assert!(
+            (sol.congestion - 1.0).abs() < 0.05,
+            "congestion = {}",
+            sol.congestion
+        );
     }
 
     #[test]
@@ -464,7 +482,11 @@ mod tests {
         );
         let d = Demand::from_pairs(&[(0, 3)]);
         let sol = min_congestion_restricted(&g, &d, &cands, &opts());
-        assert!((sol.congestion - 0.5).abs() < 0.02, "congestion = {}", sol.congestion);
+        assert!(
+            (sol.congestion - 0.5).abs() < 0.02,
+            "congestion = {}",
+            sol.congestion
+        );
     }
 
     #[test]
@@ -495,7 +517,14 @@ mod tests {
     fn many_commodities_on_hypercube_nearly_optimal() {
         let g = generators::hypercube(4);
         let d = Demand::hypercube_complement(4);
-        let sol = min_congestion_unrestricted(&g, &d, &SolveOptions { eps: 0.1, max_iters: 3000 });
+        let sol = min_congestion_unrestricted(
+            &g,
+            &d,
+            &SolveOptions {
+                eps: 0.1,
+                max_iters: 3000,
+            },
+        );
         // Complement demand on Q4: every pair at distance 4; total flow
         // >= 16*4 = 64 over 32 edges => congestion >= 2. An optimal routing
         // achieves exactly 2 (edge-disjoint dimension-ordered batches).

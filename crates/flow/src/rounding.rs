@@ -156,7 +156,7 @@ pub fn local_search(g: &Graph, support: &Routing, ir: &mut IntegralRouting) {
                         .map(|&e| loads[e as usize] + 1)
                         .max()
                         .unwrap_or(0);
-                    if best_alt.map_or(true, |(_, b)| worst < b) {
+                    if best_alt.is_none_or(|(_, b)| worst < b) {
                         best_alt = Some((ai, worst));
                     }
                 }
@@ -208,10 +208,7 @@ mod tests {
     #[test]
     fn sample_integral_respects_counts() {
         let g = generators::ring(6);
-        let r = even_split_routing(
-            &g,
-            &[(0, 3, vec![vec![0, 1, 2, 3], vec![0, 5, 4, 3]])],
-        );
+        let r = even_split_routing(&g, &[(0, 3, vec![vec![0, 1, 2, 3], vec![0, 5, 4, 3]])]);
         let d = Demand::from_pairs(&[(0, 3)]).scaled(5.0);
         let mut rng = StdRng::seed_from_u64(2);
         let ir = sample_integral(&r, &d, &mut rng);

@@ -66,7 +66,10 @@ impl Routing {
                 assert!(w >= 0.0, "negative path weight");
                 assert_eq!(path.source(), s, "path source mismatch");
                 assert_eq!(path.target(), t, "path target mismatch");
-                WeightedPath { path, weight: w / total }
+                WeightedPath {
+                    path,
+                    weight: w / total,
+                }
             })
             .collect();
         self.per_pair.insert((s, t), entry);
@@ -169,12 +172,18 @@ impl Routing {
             let mut mix: Vec<(Path, f64)> = Vec::new();
             if w1 > 0.0 {
                 if let Some(dist) = r1.distribution(s, t) {
-                    mix.extend(dist.iter().map(|wp| (wp.path.clone(), wp.weight * w1 / total)));
+                    mix.extend(
+                        dist.iter()
+                            .map(|wp| (wp.path.clone(), wp.weight * w1 / total)),
+                    );
                 }
             }
             if w2 > 0.0 {
                 if let Some(dist) = r2.distribution(s, t) {
-                    mix.extend(dist.iter().map(|wp| (wp.path.clone(), wp.weight * w2 / total)));
+                    mix.extend(
+                        dist.iter()
+                            .map(|wp| (wp.path.clone(), wp.weight * w2 / total)),
+                    );
                 }
             }
             if !mix.is_empty() {
@@ -364,8 +373,7 @@ mod tests {
                 Path::from_vertices(&g, &[0, 1, 2]).unwrap(),
             ],
         );
-        let d = Demand::new()
-            .plus(&Demand::from_pairs(&[(0, 2)]).scaled(2.0));
+        let d = Demand::new().plus(&Demand::from_pairs(&[(0, 2)]).scaled(2.0));
         assert!(ir.routes(&d));
         assert_eq!(ir.congestion(&g), 1);
         assert_eq!(ir.dilation(), 2);

@@ -16,19 +16,17 @@ fn connected_graph() -> impl Strategy<Value = Graph> {
 }
 
 fn demand_on(n: usize) -> impl Strategy<Value = Demand> {
-    proptest::collection::vec(
-        ((0..n as VertexId), (0..n as VertexId), 0.1f64..5.0),
-        0..6,
-    )
-    .prop_map(|entries| {
-        let mut d = Demand::new();
-        for (s, t, w) in entries {
-            if s != t {
-                d.add(s, t, w);
+    proptest::collection::vec(((0..n as VertexId), (0..n as VertexId), 0.1f64..5.0), 0..6).prop_map(
+        |entries| {
+            let mut d = Demand::new();
+            for (s, t, w) in entries {
+                if s != t {
+                    d.add(s, t, w);
+                }
             }
-        }
-        d
-    })
+            d
+        },
+    )
 }
 
 proptest! {

@@ -26,7 +26,10 @@ use rand::Rng;
 /// assert!(g.vertices().all(|v| g.degree(v) == 3));
 /// ```
 pub fn hypercube(d: u32) -> Graph {
-    assert!(d >= 1 && d <= 25, "hypercube dimension must be in 1..=25");
+    assert!(
+        (1..=25).contains(&d),
+        "hypercube dimension must be in 1..=25"
+    );
     let n = 1usize << d;
     let mut g = Graph::new(n);
     for v in 0..n as VertexId {
@@ -51,7 +54,9 @@ pub fn hypercube_edge(d: u32, v: VertexId, bit: u32) -> u32 {
     let u = v & !(1 << bit); // endpoint with the bit cleared
                              // Count edges emitted before (u, bit): all edges of vertices < u, plus
                              // clear bits of u below `bit`.
-    let before_vertices: u64 = (0..u as u64).map(|x| d as u64 - (x.count_ones() as u64)).sum();
+    let before_vertices: u64 = (0..u as u64)
+        .map(|x| d as u64 - (x.count_ones() as u64))
+        .sum();
     let clear_below = (!u & ((1u32 << bit) - 1)).count_ones();
     (before_vertices + clear_below as u64) as u32
 }
@@ -142,11 +147,11 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// graph is stitched to be connected. For `d >= 3` this family is an
 /// expander with high probability.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     let mut g = Graph::new(n);
     let mut stubs: Vec<VertexId> = (0..n)
-        .flat_map(|v| std::iter::repeat(v as VertexId).take(d))
+        .flat_map(|v| std::iter::repeat_n(v as VertexId, d))
         .collect();
     // A few restarts drive the leftover count down.
     for _ in 0..20 {
@@ -177,7 +182,9 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
 /// Returns the graph and the point positions (used by `ssor-te` for
 /// plotting/latency). Stitched to be connected.
 pub fn waxman<R: Rng + ?Sized>(n: usize, a: f64, b: f64, rng: &mut R) -> (Graph, Vec<(f64, f64)>) {
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let l = 2f64.sqrt();
     let mut g = Graph::new(n);
     for u in 0..n {
@@ -219,7 +226,7 @@ pub fn two_cliques_bridge(size: usize, bridges: usize) -> Graph {
 /// level doubling edge multiplicity toward the root (parallel edges model
 /// the fattening). `depth = 3` gives 8 leaves.
 pub fn fat_tree(depth: u32) -> Graph {
-    assert!(depth >= 1 && depth <= 12);
+    assert!((1..=12).contains(&depth));
     let leaves = 1usize << depth;
     // Vertices: heap-indexed complete binary tree with 2 * leaves - 1 nodes.
     let total = 2 * leaves - 1;
@@ -227,7 +234,7 @@ pub fn fat_tree(depth: u32) -> Graph {
     for node in 1..total {
         let parent = (node - 1) / 2;
         // Depth of `node` in the tree (root = 0).
-        let d_node = (usize::BITS - (node + 1).leading_zeros() - 1) as u32;
+        let d_node = usize::BITS - (node + 1).leading_zeros() - 1;
         // Multiplicity doubles toward the root: leaves attach with 1 edge.
         let mult = 1u32 << (depth - d_node);
         for _ in 0..mult.max(1) {
@@ -293,7 +300,9 @@ fn connect_components<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) {
     }
     for (c, &rep) in reps.iter().enumerate().skip(1) {
         // Attach to a random vertex of component 0.
-        let candidates: Vec<VertexId> = (0..n as VertexId).filter(|&v| comp[v as usize] == 0).collect();
+        let candidates: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| comp[v as usize] == 0)
+            .collect();
         let anchor = *candidates.choose(rng).unwrap();
         let _ = c;
         g.add_edge(anchor, rep);

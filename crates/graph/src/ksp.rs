@@ -96,8 +96,7 @@ pub fn k_shortest_paths(
                     banned_edges.insert(r.edges()[i]);
                 }
             }
-            let banned_vertices: HashSet<VertexId> =
-                root_vertices[..i].iter().copied().collect();
+            let banned_vertices: HashSet<VertexId> = root_vertices[..i].iter().copied().collect();
 
             if let Some(spur) =
                 restricted_shortest(g, spur_node, t, len, &banned_edges, &banned_vertices)
@@ -169,7 +168,15 @@ pub fn all_simple_paths(g: &Graph, s: VertexId, t: VertexId, max_hop: usize) -> 
         }
     }
 
-    dfs(g, t, max_hop, &mut verts, &mut edges, &mut on_path, &mut out);
+    dfs(
+        g,
+        t,
+        max_hop,
+        &mut verts,
+        &mut edges,
+        &mut on_path,
+        &mut out,
+    );
     out
 }
 

@@ -102,7 +102,10 @@ impl BipartiteMatching {
                 }
             }
         }
-        BipartiteMatching { match_left, match_right }
+        BipartiteMatching {
+            match_left,
+            match_right,
+        }
     }
 
     /// Number of matched pairs.
@@ -179,11 +182,7 @@ mod tests {
             let left = rng.gen_range(1..12);
             let right = rng.gen_range(1..12);
             let adj: Vec<Vec<u32>> = (0..left)
-                .map(|_| {
-                    (0..right as u32)
-                        .filter(|_| rng.gen_bool(0.3))
-                        .collect()
-                })
+                .map(|_| (0..right as u32).filter(|_| rng.gen_bool(0.3)).collect())
                 .collect();
             let m = BipartiteMatching::solve(left, right, &adj);
             for (l, r) in m.pairs() {

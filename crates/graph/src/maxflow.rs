@@ -41,8 +41,16 @@ impl Dinic {
     fn add_arc(&mut self, u: u32, v: u32, cap: i64, cap_rev: i64) {
         let ulen = self.adj[u as usize].len() as u32;
         let vlen = self.adj[v as usize].len() as u32;
-        self.adj[u as usize].push(ResArc { to: v, cap, rev: vlen });
-        self.adj[v as usize].push(ResArc { to: u, cap: cap_rev, rev: ulen });
+        self.adj[u as usize].push(ResArc {
+            to: v,
+            cap,
+            rev: vlen,
+        });
+        self.adj[v as usize].push(ResArc {
+            to: u,
+            cap: cap_rev,
+            rev: ulen,
+        });
     }
 
     fn bfs(&mut self, s: u32, t: u32) -> bool {
@@ -129,7 +137,10 @@ pub struct DinicBuilder<'a> {
 impl<'a> DinicBuilder<'a> {
     /// Unit capacity on every edge (the paper's model).
     pub fn unit(graph: &'a Graph) -> Self {
-        DinicBuilder { graph, caps: vec![1; graph.m()] }
+        DinicBuilder {
+            graph,
+            caps: vec![1; graph.m()],
+        }
     }
 
     /// Custom integer capacities, one per edge.

@@ -65,7 +65,11 @@ pub fn bfs_tree(g: &Graph, s: VertexId) -> SpTree {
             }
         }
     }
-    SpTree { source: s, dist, parent }
+    SpTree {
+        source: s,
+        dist,
+        parent,
+    }
 }
 
 /// Shortest hop-path between `s` and `t`, or `None` if disconnected.
@@ -122,7 +126,10 @@ pub fn dijkstra_tree(g: &Graph, s: VertexId, len: &dyn Fn(EdgeId) -> f64) -> SpT
     let mut parent = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[s as usize] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, vertex: s });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: s,
+    });
     while let Some(HeapEntry { dist: d, vertex: v }) = heap.pop() {
         if d > dist[v as usize] {
             continue;
@@ -134,15 +141,27 @@ pub fn dijkstra_tree(g: &Graph, s: VertexId, len: &dyn Fn(EdgeId) -> f64) -> SpT
             if nd < dist[a.to as usize] {
                 dist[a.to as usize] = nd;
                 parent[a.to as usize] = Some((v, a.edge));
-                heap.push(HeapEntry { dist: nd, vertex: a.to });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: a.to,
+                });
             }
         }
     }
-    SpTree { source: s, dist, parent }
+    SpTree {
+        source: s,
+        dist,
+        parent,
+    }
 }
 
 /// Shortest path between `s` and `t` under per-edge lengths.
-pub fn dijkstra_path(g: &Graph, s: VertexId, t: VertexId, len: &dyn Fn(EdgeId) -> f64) -> Option<Path> {
+pub fn dijkstra_path(
+    g: &Graph,
+    s: VertexId,
+    t: VertexId,
+    len: &dyn Fn(EdgeId) -> f64,
+) -> Option<Path> {
     if s == t {
         return Some(Path::trivial(s));
     }

@@ -43,7 +43,11 @@ pub struct AdversaryResult {
 
 /// Middle vertices crossed by a path, in path order.
 fn middles_on_path(path: &Path, middle: &HashSet<VertexId>) -> Vec<VertexId> {
-    path.vertices().iter().copied().filter(|v| middle.contains(v)).collect()
+    path.vertices()
+        .iter()
+        .copied()
+        .filter(|v| middle.contains(v))
+        .collect()
 }
 
 /// The canonical hitting set `f(s, t)`: first middle vertex of each
@@ -116,9 +120,7 @@ pub fn find_adversarial_demand(
     for &s in &meta.left_leaves {
         let mut counter: HashMap<Vec<VertexId>, Vec<VertexId>> = HashMap::new();
         for &t in &meta.right_leaves {
-            if let Some(set) =
-                hitting_set(paths.paths(s, t), &middle_set, &middle_sorted, alpha)
-            {
+            if let Some(set) = hitting_set(paths.paths(s, t), &middle_set, &middle_sorted, alpha) {
                 counter.entry(set).or_default().push(t);
             }
         }
@@ -197,11 +199,8 @@ pub fn optimal_witness(g: &Graph, meta: &CGraphMeta, demand: &Demand) -> Integra
     for (i, ((s, t), w)) in demand.iter().enumerate() {
         assert_eq!(w, 1.0, "adversary demands are permutations");
         let mid = meta.middle[i];
-        let p = Path::from_vertices(
-            g,
-            &[s, meta.left_center, mid, meta.right_center, t],
-        )
-        .expect("C(n,k) cross path");
+        let p = Path::from_vertices(g, &[s, meta.left_center, mid, meta.right_center, t])
+            .expect("C(n,k) cross path");
         out.set_paths(s, t, vec![p]);
     }
     out
@@ -211,18 +210,16 @@ pub fn optimal_witness(g: &Graph, meta: &CGraphMeta, demand: &Demand) -> Integra
 /// every demanded pair crosses the hitting set, hence any routing on
 /// `paths` has congestion at least `siz(d) / |S'|` on the edges incident
 /// to `S'`. Returns `Err` describing the first violation.
-pub fn certify_hitting(
-    paths: &PathSystem,
-    result: &AdversaryResult,
-) -> Result<(), String> {
+pub fn certify_hitting(paths: &PathSystem, result: &AdversaryResult) -> Result<(), String> {
     let set: HashSet<VertexId> = result.hitting_set.iter().copied().collect();
     for ((s, t), _) in result.demand.iter() {
         if let Some(cands) = paths.paths(s, t) {
             for p in cands {
                 if !p.vertices().iter().any(|v| set.contains(v)) {
                     return Err(format!(
-                        "path {:?} for pair ({s}, {t}) avoids the hitting set"
-                    , p));
+                        "path {:?} for pair ({s}, {t}) avoids the hitting set",
+                        p
+                    ));
                 }
             }
         }
@@ -303,7 +300,13 @@ mod tests {
         let middle_set: HashSet<u32> = meta.middle.iter().copied().collect();
         let p = Path::from_vertices(
             &g,
-            &[meta.left_leaves[0], meta.left_center, meta.middle[1], meta.right_center, meta.right_leaves[0]],
+            &[
+                meta.left_leaves[0],
+                meta.left_center,
+                meta.middle[1],
+                meta.right_center,
+                meta.right_leaves[0],
+            ],
         )
         .unwrap();
         let hs = hitting_set(Some(&[p]), &middle_set, &meta.middle, 2).unwrap();

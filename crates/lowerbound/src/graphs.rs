@@ -94,7 +94,9 @@ pub fn k_for_alpha(n: usize, alpha: usize) -> usize {
 pub fn g_graph(n: usize) -> (Graph, Vec<CGraphMeta>) {
     assert!(n >= 2);
     let copies = (n as f64).log2().floor() as usize;
-    let sizes: Vec<usize> = (1..=copies).map(|alpha| k_for_alpha(n, alpha).max(1)).collect();
+    let sizes: Vec<usize> = (1..=copies)
+        .map(|alpha| k_for_alpha(n, alpha).max(1))
+        .collect();
     let total: usize = sizes.iter().map(|&k| 2 * n + 2 + k).sum();
     let mut g = Graph::new(total);
     let mut metas = Vec::with_capacity(copies);

@@ -30,7 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
-mod graphs;
+pub mod graphs;
 
 pub use adversary::{certify_hitting, find_adversarial_demand, optimal_witness, AdversaryResult};
 pub use graphs::{c_graph, g_graph, k_for_alpha, CGraphMeta};

@@ -38,13 +38,17 @@ impl ObliviousRouting for ShortestPathRouting {
 
     fn sample_path(&self, s: VertexId, t: VertexId, _rng: &mut dyn RngCore) -> Path {
         assert_ne!(s, t);
-        self.trees[s as usize].path_to(&self.graph, t).expect("connected")
+        self.trees[s as usize]
+            .path_to(&self.graph, t)
+            .expect("connected")
     }
 
     fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
         assert_ne!(s, t);
         vec![(
-            self.trees[s as usize].path_to(&self.graph, t).expect("connected"),
+            self.trees[s as usize]
+                .path_to(&self.graph, t)
+                .expect("connected"),
             1.0,
         )]
     }
@@ -68,7 +72,10 @@ impl KspRouting {
     pub fn new(g: &Graph, k: usize) -> Self {
         assert!(k >= 1);
         assert!(g.is_connected());
-        KspRouting { graph: g.clone(), k }
+        KspRouting {
+            graph: g.clone(),
+            k,
+        }
     }
 
     /// Number of candidate paths per pair.
@@ -133,11 +140,7 @@ impl EcmpRouting {
         let dist = &self.trees[s as usize].dist;
         let n = self.graph.n();
         let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-        order.sort_by(|&a, &b| {
-            dist[a as usize]
-                .partial_cmp(&dist[b as usize])
-                .unwrap()
-        });
+        order.sort_by(|&a, &b| dist[a as usize].partial_cmp(&dist[b as usize]).unwrap());
         let mut counts = vec![0u128; n];
         counts[s as usize] = 1;
         for &v in &order {
@@ -146,8 +149,8 @@ impl EcmpRouting {
             }
             for a in self.graph.neighbors(v) {
                 if dist[a.to as usize] == dist[v as usize] + 1.0 {
-                    counts[a.to as usize] = counts[a.to as usize]
-                        .saturating_add(counts[v as usize]);
+                    counts[a.to as usize] =
+                        counts[a.to as usize].saturating_add(counts[v as usize]);
                 }
             }
         }

@@ -38,7 +38,10 @@ pub fn solve_laplacian(g: &Graph, w: &[f64], b: &[f64], tol: f64, max_iters: usi
     assert_eq!(b.len(), n);
     assert_eq!(w.len(), g.m());
     let bsum: f64 = b.iter().sum();
-    assert!(bsum.abs() < 1e-6, "b must be orthogonal to the kernel (sum {bsum})");
+    assert!(
+        bsum.abs() < 1e-6,
+        "b must be orthogonal to the kernel (sum {bsum})"
+    );
 
     let center = |x: &mut Vec<f64>| {
         let mean = x.iter().sum::<f64>() / n as f64;
@@ -129,7 +132,10 @@ impl ElectricalRouting {
     /// Panics if the graph is disconnected.
     pub fn new(g: &Graph) -> Self {
         assert!(g.is_connected());
-        ElectricalRouting { graph: g.clone(), conductance: vec![1.0; g.m()] }
+        ElectricalRouting {
+            graph: g.clone(),
+            conductance: vec![1.0; g.m()],
+        }
     }
 
     /// Custom conductances.
@@ -141,7 +147,10 @@ impl ElectricalRouting {
         assert!(g.is_connected());
         assert_eq!(conductance.len(), g.m());
         assert!(conductance.iter().all(|&c| c > 0.0));
-        ElectricalRouting { graph: g.clone(), conductance }
+        ElectricalRouting {
+            graph: g.clone(),
+            conductance,
+        }
     }
 }
 
@@ -174,7 +183,11 @@ impl ObliviousRouting for ElectricalRouting {
         for (_, w) in parts.iter_mut() {
             *w /= total;
         }
-        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.edges().cmp(b.0.edges())));
+        parts.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then(a.0.edges().cmp(b.0.edges()))
+        });
         parts
     }
 }
@@ -212,7 +225,11 @@ mod tests {
         let r = ElectricalRouting::new(&g);
         let dist = r.path_distribution(0, 2);
         assert_eq!(dist.len(), 2);
-        assert!((dist[0].1 - 0.6).abs() < 1e-6, "short side carries 3/5, got {}", dist[0].1);
+        assert!(
+            (dist[0].1 - 0.6).abs() < 1e-6,
+            "short side carries 3/5, got {}",
+            dist[0].1
+        );
         assert!((dist[1].1 - 0.4).abs() < 1e-6);
     }
 
@@ -221,7 +238,9 @@ mod tests {
         let g = generators::grid(4, 4);
         let w = vec![1.0; g.m()];
         let flow = electrical_flow(&g, &w, 0, 15);
-        assert!(ssor_flow::decompose::is_conserving(&g, &flow, 0, 15, 1.0, 1e-6));
+        assert!(ssor_flow::decompose::is_conserving(
+            &g, &flow, 0, 15, 1.0, 1e-6
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use ssor_graph::shortest_path::{dijkstra_tree, SpTree};
 use ssor_graph::{EdgeId, Graph, Path, VertexId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// All-pairs shortest-path structure under a fixed length function: one
 /// Dijkstra tree per source. `O(n^2)` memory — intended for the paper's
@@ -104,13 +104,13 @@ impl FrtTree {
         }
         for i in 1..=levels {
             let r = beta * 2f64.powi(i as i32 - 2);
-            for v in 0..n {
+            for (v, chain) in chains.iter_mut().enumerate() {
                 let c = pi
                     .iter()
                     .copied()
                     .find(|&c| metric.dist(c, v as VertexId) <= r)
                     .expect("top radius covers the whole graph");
-                chains[v].push(c);
+                chain.push(c);
             }
         }
         FrtTree { levels, chains }
@@ -171,13 +171,13 @@ impl FrtTree {
 /// shortcut to a simple path.
 #[derive(Debug, Clone)]
 pub struct TreeRouting {
-    metric: Rc<Metric>,
-    tree: Rc<FrtTree>,
+    metric: Arc<Metric>,
+    tree: Arc<FrtTree>,
 }
 
 impl TreeRouting {
     /// Wraps a tree with the metric used to map its segments.
-    pub fn new(metric: Rc<Metric>, tree: Rc<FrtTree>) -> Self {
+    pub fn new(metric: Arc<Metric>, tree: Arc<FrtTree>) -> Self {
         TreeRouting { metric, tree }
     }
 
@@ -214,11 +214,11 @@ pub fn sample_tree_routings<R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> Vec<TreeRouting> {
-    let metric = Rc::new(Metric::hops(g));
+    let metric = Arc::new(Metric::hops(g));
     (0..count)
         .map(|_| {
-            let tree = Rc::new(FrtTree::sample(&metric, g.n(), rng));
-            TreeRouting::new(Rc::clone(&metric), tree)
+            let tree = Arc::new(FrtTree::sample(&metric, g.n(), rng));
+            TreeRouting::new(Arc::clone(&metric), tree)
         })
         .collect()
 }
@@ -277,9 +277,9 @@ mod tests {
     #[test]
     fn tree_paths_are_simple_valid_and_connect() {
         let g = generators::hypercube(4);
-        let metric = Rc::new(Metric::hops(&g));
+        let metric = Arc::new(Metric::hops(&g));
         let mut rng = StdRng::seed_from_u64(11);
-        let tree = Rc::new(FrtTree::sample(&metric, g.n(), &mut rng));
+        let tree = Arc::new(FrtTree::sample(&metric, g.n(), &mut rng));
         let tr = TreeRouting::new(metric, tree);
         for s in [0u32, 3, 7] {
             for t in g.vertices() {

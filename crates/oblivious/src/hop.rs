@@ -38,7 +38,10 @@ pub struct HopOptions {
 
 impl Default for HopOptions {
     fn default() -> Self {
-        HopOptions { landmarks: 16, hop_stretch: 4.0 }
+        HopOptions {
+            landmarks: 16,
+            hop_stretch: 4.0,
+        }
     }
 }
 
@@ -172,7 +175,15 @@ mod tests {
     fn respects_hop_cap_when_feasible() {
         let g = generators::hypercube(4); // diameter 4
         let mut rng = StdRng::seed_from_u64(1);
-        let r = HopConstrainedRouting::build(&g, 4, &HopOptions { landmarks: 8, hop_stretch: 2.0 }, &mut rng);
+        let r = HopConstrainedRouting::build(
+            &g,
+            4,
+            &HopOptions {
+                landmarks: 8,
+                hop_stretch: 2.0,
+            },
+            &mut rng,
+        );
         for s in [0u32, 5] {
             for t in g.vertices() {
                 if s == t {
@@ -180,8 +191,10 @@ mod tests {
                 }
                 for (p, _) in r.path_distribution(s, t) {
                     assert!(
-                        p.hop() <= 8 || p.hop() == ssor_graph::shortest_path::hop_distance(&g, s, t),
-                        "path of {} hops exceeds cap", p.hop()
+                        p.hop() <= 8
+                            || p.hop() == ssor_graph::shortest_path::hop_distance(&g, s, t),
+                        "path of {} hops exceeds cap",
+                        p.hop()
                     );
                 }
             }
@@ -194,7 +207,15 @@ mod tests {
         // trivial cases, so the fallback shortest path is used.
         let g = generators::ring(8);
         let mut rng = StdRng::seed_from_u64(2);
-        let r = HopConstrainedRouting::build(&g, 1, &HopOptions { landmarks: 4, hop_stretch: 1.0 }, &mut rng);
+        let r = HopConstrainedRouting::build(
+            &g,
+            1,
+            &HopOptions {
+                landmarks: 4,
+                hop_stretch: 1.0,
+            },
+            &mut rng,
+        );
         let p = r.sample_path(0, 4, &mut StdRng::seed_from_u64(3));
         assert_eq!(p.hop(), 4, "fallback must be the 4-hop shortest path");
     }
@@ -213,7 +234,10 @@ mod tests {
         let g = generators::hypercube(4);
         let mut rng = StdRng::seed_from_u64(5);
         let h = 4;
-        let opts = HopOptions { landmarks: 12, hop_stretch: 3.0 };
+        let opts = HopOptions {
+            landmarks: 12,
+            hop_stretch: 3.0,
+        };
         let r = HopConstrainedRouting::build(&g, h, &opts, &mut rng);
         let d = Demand::hypercube_complement(4);
         let dil = r.dilation(&d);
@@ -224,11 +248,17 @@ mod tests {
     fn larger_budgets_admit_more_landmarks() {
         let g = generators::ring(16);
         let mut rng = StdRng::seed_from_u64(6);
-        let opts = HopOptions { landmarks: 16, hop_stretch: 2.0 };
+        let opts = HopOptions {
+            landmarks: 16,
+            hop_stretch: 2.0,
+        };
         let tight = HopConstrainedRouting::build(&g, 2, &opts, &mut rng.clone());
         let loose = HopConstrainedRouting::build(&g, 8, &opts, &mut rng);
         let ft = tight.feasible_landmarks(0, 3).len();
         let fl = loose.feasible_landmarks(0, 3).len();
-        assert!(fl >= ft, "loose budget ({fl}) should allow at least as many landmarks as tight ({ft})");
+        assert!(
+            fl >= ft,
+            "loose budget ({fl}) should allow at least as many landmarks as tight ({ft})"
+        );
     }
 }

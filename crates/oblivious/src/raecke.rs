@@ -15,7 +15,7 @@ use crate::traits::ObliviousRouting;
 use rand::{Rng, RngCore};
 use ssor_graph::{Graph, Path, VertexId};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Options for [`RaeckeRouting::build`].
 #[derive(Debug, Clone)]
@@ -28,7 +28,10 @@ pub struct RaeckeOptions {
 
 impl Default for RaeckeOptions {
     fn default() -> Self {
-        RaeckeOptions { iterations: 12, epsilon: 0.5 }
+        RaeckeOptions {
+            iterations: 12,
+            epsilon: 0.5,
+        }
     }
 }
 
@@ -80,9 +83,9 @@ impl RaeckeRouting {
 
         for _ in 0..opts.iterations {
             let lens = lengths.clone();
-            let metric = Rc::new(Metric::build(g, &move |e| lens[e as usize]));
-            let tree = Rc::new(FrtTree::sample(&metric, g.n(), rng));
-            let tr = TreeRouting::new(Rc::clone(&metric), tree);
+            let metric = Arc::new(Metric::build(g, &move |e| lens[e as usize]));
+            let tree = Arc::new(FrtTree::sample(&metric, g.n(), rng));
+            let tr = TreeRouting::new(Arc::clone(&metric), tree);
 
             // Canonical demand: one unit between the endpoints of every
             // edge (so parallel edges contribute multiplicity). Relative
@@ -185,7 +188,14 @@ mod tests {
         // permutation demands; we assert a loose factor.
         let g = generators::random_regular(24, 3, &mut StdRng::seed_from_u64(5));
         let mut rng = StdRng::seed_from_u64(2);
-        let r = RaeckeRouting::build(&g, &RaeckeOptions { iterations: 16, epsilon: 0.5 }, &mut rng);
+        let r = RaeckeRouting::build(
+            &g,
+            &RaeckeOptions {
+                iterations: 16,
+                epsilon: 0.5,
+            },
+            &mut rng,
+        );
         let d = Demand::random_permutation(24, &mut rng);
         let cong = r.congestion(&d);
         let opt = min_congestion_unrestricted(&g, &d, &SolveOptions::default());
@@ -201,7 +211,14 @@ mod tests {
     fn relative_loads_trend_reasonably() {
         let g = generators::ring(12);
         let mut rng = StdRng::seed_from_u64(3);
-        let r = RaeckeRouting::build(&g, &RaeckeOptions { iterations: 10, epsilon: 0.5 }, &mut rng);
+        let r = RaeckeRouting::build(
+            &g,
+            &RaeckeOptions {
+                iterations: 10,
+                epsilon: 0.5,
+            },
+            &mut rng,
+        );
         assert_eq!(r.relative_loads().len(), 10);
         for &rho in r.relative_loads() {
             assert!(rho >= 1.0);
@@ -223,7 +240,14 @@ mod tests {
     fn sampling_matches_mixture() {
         let g = generators::grid(3, 3);
         let mut rng = StdRng::seed_from_u64(9);
-        let r = RaeckeRouting::build(&g, &RaeckeOptions { iterations: 6, epsilon: 0.5 }, &mut rng);
+        let r = RaeckeRouting::build(
+            &g,
+            &RaeckeOptions {
+                iterations: 6,
+                epsilon: 0.5,
+            },
+            &mut rng,
+        );
         let dist = r.path_distribution(0, 8);
         let total: f64 = dist.iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);

@@ -55,7 +55,10 @@ pub struct ValiantRouting {
 impl ValiantRouting {
     /// Creates the routing on a fresh `dim`-dimensional hypercube.
     pub fn new(dim: u32) -> Self {
-        ValiantRouting { dim, graph: generators::hypercube(dim) }
+        ValiantRouting {
+            dim,
+            graph: generators::hypercube(dim),
+        }
     }
 
     /// The hypercube dimension.
@@ -113,7 +116,10 @@ pub struct BitFixingRouting {
 impl BitFixingRouting {
     /// Creates the routing on a fresh `dim`-dimensional hypercube.
     pub fn new(dim: u32) -> Self {
-        BitFixingRouting { dim, graph: generators::hypercube(dim) }
+        BitFixingRouting {
+            dim,
+            graph: generators::hypercube(dim),
+        }
     }
 
     /// The deterministic path for `(s, t)`.
@@ -181,7 +187,9 @@ mod tests {
     fn distributions_validate() {
         let v = ValiantRouting::new(3);
         let b = BitFixingRouting::new(3);
-        let pairs: Vec<(u32, u32)> = (0..8).flat_map(|s| (0..8).filter(move |&t| t != s).map(move |t| (s, t))).collect();
+        let pairs: Vec<(u32, u32)> = (0..8)
+            .flat_map(|s| (0..8).filter(move |&t| t != s).map(move |t| (s, t)))
+            .collect();
         validate_oblivious_routing(&v, &pairs).unwrap();
         validate_oblivious_routing(&b, &pairs).unwrap();
     }
@@ -197,7 +205,10 @@ mod tests {
         let b = BitFixingRouting::new(dim);
         let cb = b.congestion(&d);
         assert!(cv < cb, "valiant {cv} should beat bit-fixing {cb}");
-        assert!(cb >= (1u64 << (dim / 2)) as f64 / 2.0, "bit-reversal forces sqrt(n)-ish congestion, got {cb}");
+        assert!(
+            cb >= (1u64 << (dim / 2)) as f64 / 2.0,
+            "bit-reversal forces sqrt(n)-ish congestion, got {cb}"
+        );
     }
 
     #[test]
@@ -226,7 +237,7 @@ mod tests {
             *counts.entry(p.edges().to_vec()).or_insert(0) += 1;
         }
         for (p, w) in &dist {
-            let f = *counts.get(&p.edges().to_vec()).unwrap_or(&0) as f64 / trials as f64;
+            let f = *counts.get(p.edges()).unwrap_or(&0) as f64 / trials as f64;
             assert!(
                 (f - w).abs() < 0.05,
                 "path {:?}: empirical {f} vs exact {w}",

@@ -66,7 +66,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { scheduler: Scheduler::RandomRank, seed: 0 }
+        SimConfig {
+            scheduler: Scheduler::RandomRank,
+            seed: 0,
+        }
     }
 }
 
@@ -166,8 +169,7 @@ pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
         }
         // Advance winners.
         let mut still = Vec::with_capacity(remaining.len());
-        let winners: std::collections::HashSet<usize> =
-            claim.into_iter().flatten().collect();
+        let winners: std::collections::HashSet<usize> = claim.into_iter().flatten().collect();
         for &i in &remaining {
             if winners.contains(&i) {
                 pos[i] += 1;
@@ -181,7 +183,12 @@ pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
         remaining = still;
     }
 
-    SimOutcome { makespan: round, congestion, dilation, arrival }
+    SimOutcome {
+        makespan: round,
+        congestion,
+        dilation,
+        arrival,
+    }
 }
 
 /// Convenience: simulate an [`ssor_flow::IntegralRouting`]'s paths.
@@ -215,8 +222,19 @@ mod tests {
     fn single_packet_takes_its_hop_count() {
         let g = generators::ring(8);
         let paths = line_paths(&g, &[&[0, 1, 2, 3, 4]]);
-        for sched in [Scheduler::Fifo, Scheduler::FarthestToGo, Scheduler::RandomRank] {
-            let out = simulate(&g, &paths, &SimConfig { scheduler: sched, seed: 1 });
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::FarthestToGo,
+            Scheduler::RandomRank,
+        ] {
+            let out = simulate(
+                &g,
+                &paths,
+                &SimConfig {
+                    scheduler: sched,
+                    seed: 1,
+                },
+            );
             assert_eq!(out.makespan, 4);
             assert_eq!(out.dilation, 4);
             assert_eq!(out.congestion, 1);
@@ -229,7 +247,14 @@ mod tests {
         // Three packets all crossing edge (0,1).
         let g = generators::ring(4);
         let paths = line_paths(&g, &[&[0, 1], &[0, 1], &[0, 1]]);
-        let out = simulate(&g, &paths, &SimConfig { scheduler: Scheduler::Fifo, seed: 0 });
+        let out = simulate(
+            &g,
+            &paths,
+            &SimConfig {
+                scheduler: Scheduler::Fifo,
+                seed: 0,
+            },
+        );
         assert_eq!(out.congestion, 3);
         assert_eq!(out.makespan, 3, "one per round over the shared edge");
         assert_eq!(out.arrival, vec![1, 2, 3], "FIFO order");
@@ -238,12 +263,20 @@ mod tests {
     #[test]
     fn makespan_at_least_max_c_d() {
         let g = generators::grid(3, 3);
-        let paths = line_paths(
-            &g,
-            &[&[0, 1, 2, 5, 8], &[0, 1, 2], &[6, 7, 8], &[0, 3, 6]],
-        );
-        for sched in [Scheduler::Fifo, Scheduler::FarthestToGo, Scheduler::RandomRank] {
-            let out = simulate(&g, &paths, &SimConfig { scheduler: sched, seed: 3 });
+        let paths = line_paths(&g, &[&[0, 1, 2, 5, 8], &[0, 1, 2], &[6, 7, 8], &[0, 3, 6]]);
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::FarthestToGo,
+            Scheduler::RandomRank,
+        ] {
+            let out = simulate(
+                &g,
+                &paths,
+                &SimConfig {
+                    scheduler: sched,
+                    seed: 3,
+                },
+            );
             assert!(out.makespan >= out.dilation);
             assert!(out.makespan >= out.congestion);
             assert!(out.makespan <= out.congestion * out.dilation + out.dilation);
@@ -274,7 +307,14 @@ mod tests {
         // the long one through first, finishing both in dilation + 1.
         let g = generators::ring(8);
         let paths = line_paths(&g, &[&[0, 1], &[0, 1, 2, 3, 4, 5]]);
-        let out = simulate(&g, &paths, &SimConfig { scheduler: Scheduler::FarthestToGo, seed: 0 });
+        let out = simulate(
+            &g,
+            &paths,
+            &SimConfig {
+                scheduler: Scheduler::FarthestToGo,
+                seed: 0,
+            },
+        );
         assert_eq!(out.arrival[1], 5, "long packet unimpeded");
         assert_eq!(out.arrival[0], 2, "short one waits a round");
     }
@@ -294,7 +334,14 @@ mod tests {
                 paths.push(ssor_graph::shortest_path::bfs_path(&g, s, t).unwrap());
             }
         }
-        let out = simulate(&g, &paths, &SimConfig { scheduler: Scheduler::RandomRank, seed: 4 });
+        let out = simulate(
+            &g,
+            &paths,
+            &SimConfig {
+                scheduler: Scheduler::RandomRank,
+                seed: 4,
+            },
+        );
         assert!(out.overhead() <= 3.0, "overhead {}", out.overhead());
     }
 

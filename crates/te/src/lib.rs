@@ -66,7 +66,13 @@ impl Wan {
             })
             .collect();
         let (graph, replicas) = base.with_capacities(&capacity);
-        Wan { graph, links, capacity, replicas, positions }
+        Wan {
+            graph,
+            links,
+            capacity,
+            replicas,
+            positions,
+        }
     }
 
     /// Number of routers.
@@ -109,7 +115,13 @@ impl GravityModel {
         let phases: Vec<f64> = (0..n)
             .map(|_| rng.gen_range(0.0..(2.0 * std::f64::consts::PI)))
             .collect();
-        GravityModel { weights, phases, total, amplitude: 0.4, noise: 0.2 }
+        GravityModel {
+            weights,
+            phases,
+            total,
+            amplitude: 0.4,
+            noise: 0.2,
+        }
     }
 
     /// The demand snapshot at time `t` of `period` (e.g. hour `t` of 24).
@@ -296,7 +308,10 @@ pub fn fail_link(
         .map(|(_, uv)| uv)
         .collect();
     let damaged = Graph::from_edges(wan.graph.n(), &kept);
-    assert!(damaged.is_connected(), "failing link {link} disconnects the WAN");
+    assert!(
+        damaged.is_connected(),
+        "failing link {link} disconnects the WAN"
+    );
     let opt = min_congestion_unrestricted(&damaged, d, opts);
 
     // Congestion on survivors (original edge ids still valid: we only
@@ -304,12 +319,15 @@ pub fn fail_link(
     let congestion = if covered.is_empty() {
         None
     } else {
-        Some(
-            min_congestion_restricted(&wan.graph, &covered, survivors.as_map(), opts).congestion,
-        )
+        Some(min_congestion_restricted(&wan.graph, &covered, survivors.as_map(), opts).congestion)
     };
 
-    FailureReport { link, coverage, congestion, opt_lower_bound: opt.lower_bound }
+    FailureReport {
+        link,
+        coverage,
+        congestion,
+        opt_lower_bound: opt.lower_bound,
+    }
 }
 
 #[cfg(test)]
@@ -344,7 +362,11 @@ mod tests {
         let model = GravityModel::sample(wan.n(), 50.0, &mut rng);
         let a = model.snapshot(0, 24, &mut rng);
         let b = model.snapshot(12, 24, &mut rng);
-        assert_eq!(a.support_len(), b.support_len(), "gravity support is dense and stable");
+        assert_eq!(
+            a.support_len(),
+            b.support_len(),
+            "gravity support is dense and stable"
+        );
         // Diurnal + noise means the values differ.
         let (pair, _) = a.iter().next().unwrap();
         assert_ne!(a.get(pair.0, pair.1), b.get(pair.0, pair.1));
@@ -363,7 +385,11 @@ mod tests {
         assert_eq!(reports.len(), 3);
         for r in &reports {
             assert!(r.ratio >= 0.99, "ratio below 1 impossible, got {}", r.ratio);
-            assert!(r.ratio < 30.0, "alpha=4 SMORE sampling should be competitive, got {}", r.ratio);
+            assert!(
+                r.ratio < 30.0,
+                "alpha=4 SMORE sampling should be competitive, got {}",
+                r.ratio
+            );
         }
     }
 
@@ -378,7 +404,11 @@ mod tests {
         let reports = evaluate_with_stale_rates(&wan, &ps, &snaps, &SolveOptions::with_eps(0.1));
         assert_eq!(reports.len(), 3);
         for r in &reports {
-            assert!(r.staleness_penalty >= 0.95, "stale cannot beat fresh by much: {}", r.staleness_penalty);
+            assert!(
+                r.staleness_penalty >= 0.95,
+                "stale cannot beat fresh by much: {}",
+                r.staleness_penalty
+            );
             assert!(
                 r.staleness_penalty < 2.5,
                 "hour-adjacent gravity snapshots should be cheap to serve with stale rates, got {}",

@@ -32,7 +32,8 @@ fn main() {
     println!("demand: {} pairs, siz(d) = {}", d.support_len(), d.size());
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(31);
-    let router = CompletionTimeRouter::build(&g, &d.support(), &CompletionOptions::default(), &mut rng);
+    let router =
+        CompletionTimeRouter::build(&g, &d.support(), &CompletionOptions::default(), &mut rng);
     println!(
         "hop-scale ladder: {:?}; union sparsity {}",
         router.scales(),
@@ -50,11 +51,25 @@ fn main() {
 
     // Schedule the rounded routing with random ranks and measure makespan.
     let rounded = round_routing(&g, &route.routing, &d, 16, &mut rng);
-    for sched in [Scheduler::Fifo, Scheduler::FarthestToGo, Scheduler::RandomRank] {
-        let out = simulate_routing(&g, &rounded.routing, &SimConfig { scheduler: sched, seed: 5 });
+    for sched in [
+        Scheduler::Fifo,
+        Scheduler::FarthestToGo,
+        Scheduler::RandomRank,
+    ] {
+        let out = simulate_routing(
+            &g,
+            &rounded.routing,
+            &SimConfig {
+                scheduler: sched,
+                seed: 5,
+            },
+        );
         println!(
             "schedule [{sched:?}]: makespan {} vs C + D = {} + {} (overhead {:.2}x)",
-            out.makespan, out.congestion, out.dilation, out.overhead()
+            out.makespan,
+            out.congestion,
+            out.dilation,
+            out.overhead()
         );
     }
     println!("\n=> minimizing congestion + dilation over the hop-laddered samples keeps the");

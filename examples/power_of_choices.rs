@@ -5,34 +5,42 @@
 //! `Θ(sqrt(n))` congestion on the bit-reversal permutation `[KKT91]`; each
 //! extra sampled path improves the ratio polynomially (Theorem 2.5).
 //!
+//! The sweep shares one `ssor-engine` cache, so the offline OPT is solved
+//! once for all six `α` values.
+//!
 //! Run with: `cargo run --release --example power_of_choices`
 
-use rand::SeedableRng;
-use ssor::core::{sample, SemiObliviousRouter};
+use ssor::engine::{DemandSpec, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
 use ssor::flow::{Demand, SolveOptions};
-use ssor::oblivious::{BitFixingRouting, ObliviousRouting, ValiantRouting};
+use ssor::oblivious::{BitFixingRouting, ObliviousRouting};
 
 fn main() {
     let dim = 6;
     let n = 1usize << dim;
     println!("== power of random choices: hypercube n = {n}, bit-reversal demand ==\n");
 
-    let demand = Demand::hypercube_bit_reversal(dim);
-    let opts = SolveOptions::with_eps(0.05);
-
     // The deterministic strawman: one fixed path per pair.
-    let bitfix = BitFixingRouting::new(dim);
-    let det_cong = bitfix.congestion(&demand);
-    println!("deterministic bit-fixing (1 path): congestion {det_cong:.1}  <- Θ(sqrt(n)) barrier\n");
+    let demand = Demand::hypercube_bit_reversal(dim);
+    let det_cong = BitFixingRouting::new(dim).congestion(&demand);
+    println!(
+        "deterministic bit-fixing (1 path): congestion {det_cong:.1}  <- Θ(sqrt(n)) barrier\n"
+    );
+
+    let cache = PathSystemCache::new();
+    let base = Pipeline::on(TopologySpec::Hypercube { dim })
+        .template(TemplateSpec::Valiant)
+        .seed(7)
+        .solve_options(SolveOptions::with_eps(0.05))
+        .demand("bit-reversal", DemandSpec::BitReversal);
 
     println!("{:>5} {:>12} {:>10}", "α", "congestion", "ratio(≤)");
-    let valiant = ValiantRouting::new(dim);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     for alpha in [1usize, 2, 3, 4, 6, 8] {
-        let ps = sample::alpha_sample(&valiant, &demand.support(), alpha, &mut rng);
-        let router = SemiObliviousRouter::new(valiant.graph().clone(), ps);
-        let rep = router.competitive_report(&demand, &opts);
-        println!("{alpha:>5} {:>12.3} {:>9.2}x", rep.semi_oblivious, rep.ratio);
+        let rec = &base.clone().alpha(alpha).run(&cache).records[0];
+        println!(
+            "{alpha:>5} {:>12.3} {:>9.2}x",
+            rec.congestion,
+            rec.ratio.unwrap()
+        );
     }
     println!("\n=> each additional sampled path buys a polynomial improvement;");
     println!("   α ≈ 4 already sits near the oblivious optimum (the SMORE sweet spot).");

@@ -1,50 +1,64 @@
-//! Quickstart: the paper's construction in five steps.
+//! Quickstart: the paper's construction in five declarative steps.
 //!
-//! Builds an oblivious routing, samples a sparse path system from it
-//! (Definition 5.2), reveals a demand, adapts rates (Stage 4), and prints
-//! the competitive report (Stage 5).
+//! Describes the whole pipeline — topology, oblivious template, sparse
+//! `α`-sample (Definition 5.2), demand, rate adaptation — as one
+//! `ssor-engine` configuration, runs it, and prints the competitive
+//! report (Stage 5).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rand::SeedableRng;
-use ssor::core::{sample, SemiObliviousRouter};
+use ssor::engine::{DemandSpec, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
 use ssor::flow::{Demand, SolveOptions};
-use ssor::oblivious::{ObliviousRouting, ValiantRouting};
 
 fn main() {
     let dim = 6;
     let n = 1usize << dim;
     println!("== ssor quickstart: {dim}-dimensional hypercube (n = {n}) ==\n");
 
-    // Stage 1-2: graph + oblivious routing + sparse sample.
-    let oblivious = ValiantRouting::new(dim);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
     let alpha = 4;
-    let paths = sample::alpha_sample(&oblivious, &sample::all_pairs(n), alpha, &mut rng);
+    let cache = PathSystemCache::new();
+    let pipeline = Pipeline::on(TopologySpec::Hypercube { dim })
+        .template(TemplateSpec::Valiant)
+        .alpha(alpha)
+        .seed(2023)
+        .solve_options(SolveOptions::with_eps(0.05))
+        .demand("bit-reversal", DemandSpec::BitReversal);
+
+    // Stages 1-3: graph + oblivious routing + sparse sample (parallel
+    // across pairs, cached by (topology, template, alpha, seed)).
+    let prepared = pipeline.prepare(&cache);
     println!(
         "sampled a path system: sparsity {} (α = {alpha}), {} paths total",
-        paths.sparsity(),
-        paths.total_paths()
+        prepared.paths().sparsity(),
+        prepared.paths().total_paths()
     );
 
-    let router = SemiObliviousRouter::new(oblivious.graph().clone(), paths);
-
-    // Stage 3: adversarial demand revealed (bit-reversal permutation — the
-    // classic hard case for deterministic routing).
+    // Stage 3 (demand side): adversarial demand revealed (bit-reversal
+    // permutation — the classic hard case for deterministic routing).
     let demand = Demand::hypercube_bit_reversal(dim);
-    println!("demand: bit-reversal permutation, siz(d) = {}", demand.size());
+    println!(
+        "demand: bit-reversal permutation, siz(d) = {}",
+        demand.size()
+    );
 
-    // Stage 4-5: adapt rates within the candidates, compare to OPT.
-    let opts = SolveOptions::with_eps(0.05);
-    let report = router.competitive_report(&demand, &opts);
-    println!("\nsemi-oblivious congestion : {:.3}", report.semi_oblivious);
-    println!("offline OPT (lower bound) : {:.3}", report.opt_lower_bound);
-    println!("offline OPT (upper bound) : {:.3}", report.opt_upper_bound);
-    println!("competitive ratio (≤)     : {:.2}x", report.ratio);
+    // Stages 4-5: adapt rates within the candidates, compare to OPT.
+    let report = pipeline.run(&cache);
+    let rec = &report.records[0];
+    println!("\nsemi-oblivious congestion : {:.3}", rec.congestion);
+    println!(
+        "offline OPT (lower bound) : {:.3}",
+        rec.opt_lower_bound.unwrap()
+    );
+    println!(
+        "offline OPT (upper bound) : {:.3}",
+        rec.opt_upper_bound.unwrap()
+    );
+    println!("competitive ratio (≤)     : {:.2}x", rec.ratio.unwrap());
 
     // Contrast: the oblivious routing itself (no rate adaptation).
-    let oblivious_cong = oblivious.congestion(&demand);
-    println!("\nfull Valiant (oblivious)  : {:.3}", oblivious_cong);
+    let template = prepared.template().expect("congestion objective");
+    let oblivious_cong = template.congestion(&demand);
+    println!("\nfull Valiant (oblivious)  : {oblivious_cong:.3}");
     println!(
         "\n=> {alpha} random paths per pair retain near-oblivious quality with a\n   tiny, pre-installable path system — the paper's headline."
     );

@@ -23,7 +23,9 @@ fn main() {
 
     // A day of gravity-model traffic, one snapshot per "hour".
     let model = GravityModel::sample(wan.n(), 60.0, &mut rng);
-    let snapshots: Vec<_> = (0..8).map(|t| model.snapshot(t * 3, 24, &mut rng)).collect();
+    let snapshots: Vec<_> = (0..8)
+        .map(|t| model.snapshot(t * 3, 24, &mut rng))
+        .collect();
 
     // Fixed candidate paths: α = 4 samples from Räcke's oblivious routing
     // (exactly SMORE's path selection).
@@ -37,7 +39,10 @@ fn main() {
     );
 
     let opts = SolveOptions::with_eps(0.08);
-    println!("{:>9} {:>12} {:>10} {:>9}", "snapshot", "max-util", "opt(lb)", "ratio(≤)");
+    println!(
+        "{:>9} {:>12} {:>10} {:>9}",
+        "snapshot", "max-util", "opt(lb)", "ratio(≤)"
+    );
     let reports = evaluate_snapshots(&wan, &paths, &snapshots, &opts);
     for r in &reports {
         println!(

@@ -26,7 +26,10 @@ fn main() {
     let samples = sample_multiset(&valiant, &d.support(), |_, _| alpha, &mut rng);
     println!("sampled α = {alpha} candidate paths per pair (multiplicities kept)\n");
 
-    println!("{:>6} {:>14} {:>18} {:>10}", "γ", "routed frac", "overcong. edges", "success");
+    println!(
+        "{:>6} {:>14} {:>18} {:>10}",
+        "γ", "routed frac", "overcong. edges", "success"
+    );
     for gamma in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let out = weak_route(valiant.graph(), &samples, &d, gamma);
         verify_lemma_5_10(valiant.graph(), &d, &out).expect("Lemma 5.10 invariants");
@@ -57,6 +60,9 @@ fn main() {
         out.rounds,
         out.congestion
     );
-    println!("budget from the reduction: O(γ log m) = {:.1}", 4.0 * gamma * (valiant.graph().m() as f64).ln());
+    println!(
+        "budget from the reduction: O(γ log m) = {:.1}",
+        4.0 * gamma * (valiant.graph().m() as f64).ln()
+    );
     println!("\n=> the probabilistic method of the paper is not just provable — it runs.");
 }

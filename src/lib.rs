@@ -16,9 +16,27 @@
 //! * [`lowerbound`] — the Section 8 constructions and the Lemma 8.1
 //!   adversary (`ssor-lowerbound`);
 //! * [`sim`] — the store-and-forward packet scheduler (`ssor-sim`);
-//! * [`te`] — the SMORE traffic-engineering scenario (`ssor-te`).
+//! * [`te`] — the SMORE traffic-engineering scenario (`ssor-te`);
+//! * [`engine`] — the batched, rayon-parallel five-stage pipeline with
+//!   memoized path systems (`ssor-engine`).
 //!
 //! # Quickstart
+//!
+//! The [`engine`] pipeline chains all five stages declaratively:
+//!
+//! ```
+//! use ssor::engine::{DemandSpec, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
+//!
+//! let cache = PathSystemCache::new();
+//! let report = Pipeline::on(TopologySpec::Hypercube { dim: 4 })
+//!     .template(TemplateSpec::Valiant)   // 2. oblivious routing
+//!     .alpha(4)                          // 3. α paths per pair (Def. 5.2)
+//!     .demand("hard", DemandSpec::BitReversal) // 4. demand arrives
+//!     .run(&cache);                      // 5. rates adapt; report vs OPT
+//! assert!(report.records[0].ratio.unwrap() < 8.0);
+//! ```
+//!
+//! The same construction, driven by hand through the layer APIs:
 //!
 //! ```
 //! use ssor::core::{sample, SemiObliviousRouter};
@@ -43,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub use ssor_core as core;
+pub use ssor_engine as engine;
 pub use ssor_flow as flow;
 pub use ssor_graph as graph;
 pub use ssor_lowerbound as lowerbound;

@@ -68,7 +68,11 @@ fn reprovision_after_graph_edge_removal() {
     let d = Demand::random_permutation(16, &mut rng);
 
     // Remove one edge (torus stays connected).
-    let kept: Vec<(u32, u32)> = g.edges().filter(|&(e, _)| e != 0).map(|(_, uv)| uv).collect();
+    let kept: Vec<(u32, u32)> = g
+        .edges()
+        .filter(|&(e, _)| e != 0)
+        .map(|(_, uv)| uv)
+        .collect();
     let damaged = Graph::from_edges(g.n(), &kept);
     assert!(damaged.is_connected());
 

@@ -1,0 +1,425 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest): the API
+//! subset this workspace's property tests use, implemented over the
+//! vendored `rand` shim.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a **fixed deterministic seed sequence**, so
+//!   every run (local or CI) exercises identical inputs;
+//! * there is **no shrinking** — a failure reports the case index, and
+//!   re-running reproduces it exactly;
+//! * the default case count is 32 (upstream: 256) to keep debug-profile
+//!   `cargo test` fast; tests that need more pass
+//!   `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — try another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of values: the single-method core of this shim.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value and draws
+    /// from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range");
+                if hi < <$t>::MAX {
+                    rng.gen_range(lo..hi + 1)
+                } else if lo > <$t>::MIN {
+                    rng.gen_range(lo - 1..hi) + 1
+                } else {
+                    // Full-width range: any value.
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($( ($($name:ident),+) ),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// The `any::<T>()` strategy over [`Arbitrary`] types.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates any value of `T` (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// A `Vec` strategy with length drawn from `len` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors with length in `len` and elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Runs `f` on deterministically seeded cases until `cfg.cases` accepted
+/// cases pass; panics on the first failure, naming the case seed.
+pub fn run_test<F>(cfg: ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = cfg.cases.saturating_mul(20).max(200);
+    while accepted < cfg.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest shim: too many rejected cases ({accepted}/{} accepted after {attempts} attempts)",
+                cfg.cases
+            );
+        }
+        // Fixed, publicly visible seed schedule: case k uses seed
+        // 0x5EED_0000 + k, so any failure is reproducible by index.
+        let seed = 0x5EED_0000u64 + attempts as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        attempts += 1;
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property failed on case seed {seed:#x}: {msg}")
+            }
+        }
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}", a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}: {:?} != {:?}", format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares deterministic property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(x in 0usize..10, (a, b) in strategy) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_test(cfg, |__pt_rng| {
+                    $(let $p = $crate::Strategy::generate(&($s), __pt_rng);)+
+                    let __pt_result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    __pt_result
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::run_test;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (n, label) in (1usize..5).prop_map(|n| (n, format!("n={n}"))),
+        ) {
+            prop_assert_eq!(label, format!("n={}", n));
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_values(
+            (n, i) in (2usize..10).prop_flat_map(|n| (Just(n), 0..n)),
+        ) {
+            prop_assert!(i < n, "dependent draw out of range");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn collection_vec_respects_length(v in crate::collection::vec(0u32..5, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_both_endpoints() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(Strategy::generate(&(2usize..=4), &mut rng));
+        }
+        assert!(seen.contains(&2) && seen.contains(&4), "seen: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_seed() {
+        run_test(ProptestConfig::with_cases(5), |rng| {
+            let x = Strategy::generate(&(0usize..100), rng);
+            prop_assert!(x >= 100, "forced failure {}", x);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon): the API subset
+//! this workspace uses — `par_iter()` / `into_par_iter()` followed by
+//! `map(..).collect::<Vec<_>>()` or `for_each(..)` — implemented with
+//! `std::thread::scope` and an atomic work counter.
+//!
+//! The build container has no crates.io access, so this shim stands in for
+//! the real work-stealing pool. Semantics match where it matters:
+//!
+//! * results are returned **in input order**, regardless of which thread
+//!   computed them;
+//! * closures run concurrently on up to [`current_num_threads`] OS threads
+//!   (tasks are claimed one at a time from an atomic counter, so uneven
+//!   item costs still balance);
+//! * a panic in any closure propagates to the caller.
+//!
+//! Unlike real rayon there is no global pool — threads are spawned per
+//! call — so this is intended for coarse-grained items (an LP solve, a
+//! per-pair path sampling), which is exactly how the workspace uses it.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call may use (the machine's
+/// available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..n)` with dynamic load balancing and returns results in index
+/// order. The engine of every combinator in this shim.
+fn par_map_indexed<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for bucket in buckets.drain(..) {
+        for (i, u) in bucket {
+            slots[i] = Some(u);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// A parallel iterator over `&[T]` (items are `&T`).
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+/// A parallel iterator over an owned `Vec<T>` (items are `T`).
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// The result of [`ParSlice::map`], ready to collect.
+pub struct MapSlice<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The result of [`ParVec::map`], ready to collect.
+pub struct MapVec<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps each item (by reference) through `f` in parallel.
+    pub fn map<U, F: Fn(&'a T) -> U>(self, f: F) -> MapSlice<'a, T, F> {
+        MapSlice {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        par_map_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> MapSlice<'a, T, F> {
+    /// Collects the mapped items, preserving input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        C::from_ordered_vec(par_map_indexed(self.items.len(), |i| {
+            (self.f)(&self.items[i])
+        }))
+    }
+}
+
+impl<T: Send> ParVec<T> {
+    /// Maps each item (by value) through `f` in parallel.
+    pub fn map<U, F: Fn(T) -> U>(self, f: F) -> MapVec<T, F> {
+        MapVec {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> MapVec<T, F> {
+    /// Collects the mapped items, preserving input order.
+    pub fn collect<C: FromParallel<U>>(self) -> C {
+        let n = self.items.len();
+        let queue = Mutex::new(self.items.into_iter().enumerate());
+        let pairs = par_map_indexed(n, |_| {
+            let next = queue.lock().expect("queue lock").next();
+            let (i, item) = next.expect("queue yields one item per slot");
+            (i, (self.f)(item))
+        });
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, u) in pairs {
+            slots[i] = Some(u);
+        }
+        C::from_ordered_vec(slots.into_iter().map(|s| s.expect("slot filled")).collect())
+    }
+}
+
+/// Collections a parallel map can materialize into.
+pub trait FromParallel<U> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallel<U> for Vec<U> {
+    fn from_ordered_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// By-reference conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type (`&'a T`).
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// By-value conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParVec<usize>;
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec {
+            items: self.collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_by_value() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+        assert_eq!(lens.len(), 100);
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let squares: Vec<usize> = (0..50).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_when_multicore() {
+        // With one worker this degenerates to sequential, which is fine;
+        // the assertion only checks every task ran exactly once.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..256).collect();
+        v.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panics_propagate() {
+        // Skip the propagation check on single-core machines, where the
+        // sequential fallback panics with the original message instead.
+        if super::current_num_threads() <= 1 {
+            panic!("parallel worker panicked (sequential fallback)");
+        }
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| if x == 13 { panic!("boom") } else { x })
+            .collect();
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<usize> = vec![];
+        let out: Vec<usize> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

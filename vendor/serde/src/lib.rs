@@ -1,0 +1,186 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde): the subset this
+//! workspace uses — `#[derive(Serialize)]` on plain structs, serialized to
+//! JSON by the sibling `serde_json` shim.
+//!
+//! The build container has no crates.io access, so instead of the real
+//! serde data model this shim serializes through one concrete
+//! JSON-shaped [`Value`]. That is all the experiment recorders need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the generated `impl serde::Serialize for ...` resolve even inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value: the single data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be converted to a [`Value`].
+///
+/// Derivable on structs with named fields via `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts `self` to the JSON-shaped data model.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! ser_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+    )*};
+}
+ser_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3usize.to_value(), Value::Num(3.0));
+        assert_eq!((-1i32).to_value(), Value::Num(-1.0));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_string().to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_serialize() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)])
+        );
+        assert_eq!(
+            (1u32, "a".to_string()).to_value(),
+            Value::Array(vec![Value::Num(1.0), Value::Str("a".into())])
+        );
+    }
+
+    #[test]
+    fn derive_on_named_struct() {
+        #[derive(Serialize)]
+        struct Row {
+            alpha: usize,
+            ratio: f64,
+            label: String,
+        }
+        let r = Row {
+            alpha: 4,
+            ratio: 1.5,
+            label: "x".into(),
+        };
+        assert_eq!(
+            r.to_value(),
+            Value::Object(vec![
+                ("alpha".into(), Value::Num(4.0)),
+                ("ratio".into(), Value::Num(1.5)),
+                ("label".into(), Value::Str("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_handles_generic_field_types() {
+        #[derive(Serialize)]
+        struct Nested {
+            rows: Vec<(u32, f64)>,
+            opt: Option<bool>,
+        }
+        let n = Nested {
+            rows: vec![(1, 0.5)],
+            opt: Some(false),
+        };
+        match n.to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].0, "rows");
+                assert_eq!(fields[1].0, "opt");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for structs
+//! with named fields, written against `proc_macro` directly (no syn/quote —
+//! the build container has no crates.io access).
+//!
+//! The generated impl converts the struct to `serde::Value::Object` with
+//! fields in declaration order, which is exactly what the experiment
+//! recorders serialize.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+///
+/// Limitations (by design, this is a shim): tuple/unit structs, enums,
+/// generic parameters, and `#[serde(...)]` attributes are not supported.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_struct(&tokens);
+    let fields = parse_named_fields(body);
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("fields.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n")
+        })
+        .collect();
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n\
+         let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+         {pushes}\
+         serde::Value::Object(fields)\n\
+         }}\n\
+         }}\n"
+    );
+    out.parse().expect("generated impl parses")
+}
+
+/// Finds the struct name and its `{ ... }` body group, skipping attributes
+/// and visibility.
+fn parse_struct(tokens: &[TokenTree]) -> (String, TokenStream) {
+    let mut i = 0;
+    // Skip outer attributes: `#` followed by a bracket group.
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    // Skip `pub`, `pub(...)`.
+    while let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!("derive(Serialize) shim supports only structs, got {other:?}"),
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+    for t in &tokens[i + 2..] {
+        if let TokenTree::Group(g) = t {
+            if g.delimiter() == Delimiter::Brace {
+                return (name, g.stream());
+            }
+        }
+    }
+    panic!("derive(Serialize) shim supports only structs with named fields");
+}
+
+/// Extracts field names from a named-field struct body: identifiers
+/// immediately followed by `:` at angle-bracket depth 0, at positions that
+/// start a field (beginning, or right after a depth-0 comma), skipping
+/// attributes and `pub`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle_depth: i64 = 0;
+    let mut at_field_start = true;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_field_start = true;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                // Field attribute: skip `#[...]`.
+                i += 2;
+            }
+            TokenTree::Ident(id) if at_field_start && id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+                    if p.as_char() == ':' {
+                        fields.push(id.to_string());
+                    }
+                }
+                at_field_start = false;
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    fields
+}

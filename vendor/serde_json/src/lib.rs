@@ -1,0 +1,207 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json): JSON
+//! pretty-printing over the `serde` shim's [`serde::Value`] model.
+//! Only the encoding direction is implemented — the experiment recorders
+//! never parse JSON back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+
+/// Errors this shim can produce (only non-finite numbers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns an error if the value contains a NaN or infinite number, which
+/// JSON cannot represent.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a NaN or infinite number.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    // Compact form: pretty-print then strip is wrong (strings may contain
+    // whitespace), so walk again without indentation.
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+fn write_num(x: f64, out: &mut String) -> Result<(), Error> {
+    if !x.is_finite() {
+        return Err(Error(format!("non-finite number {x}")));
+    }
+    if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+    Ok(())
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) -> Result<(), Error> {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(x) => write_num(*x, out)?,
+        Value::Str(s) => write_str(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&inner);
+                    write_value(item, indent + 1, out)?;
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push_str("{\n");
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    out.push_str(&inner);
+                    write_str(k, out);
+                    out.push_str(": ");
+                    write_value(val, indent + 1, out)?;
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_compact(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(x) => write_num(*x, out)?,
+        Value::Str(s) => write_str(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(k, out);
+                out.push(':');
+                write_compact(val, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        alpha: usize,
+        ratio: f64,
+        name: String,
+    }
+
+    #[test]
+    fn pretty_prints_rows() {
+        let rows = vec![
+            Row {
+                alpha: 1,
+                ratio: 2.5,
+                name: "a\"b".into(),
+            },
+            Row {
+                alpha: 2,
+                ratio: 1.0,
+                name: "c".into(),
+            },
+        ];
+        let s = to_string_pretty(&rows).unwrap();
+        assert!(s.starts_with("[\n"));
+        assert!(s.contains("\"alpha\": 1"));
+        assert!(s.contains("\"ratio\": 2.5"));
+        assert!(s.contains("\\\"")); // escaped quote
+        assert!(s.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        let s = to_string(&vec![1.0f64, 2.25]).unwrap();
+        assert_eq!(s, "[1,2.25]");
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        let v: Vec<f64> = vec![];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}
