@@ -77,6 +77,50 @@ fn bench_embeddings() {
     });
 }
 
+fn bench_edge_loads() {
+    // The representation layer: dense per-edge accumulation and the
+    // deterministic parallel reduction, at the n (edge count) scales the
+    // issue tracks.
+    use ssor_graph::EdgeLoads;
+    for m in [256usize, 1024] {
+        // Synthetic "paths": fixed pseudo-random edge lists of length 8.
+        let paths: Vec<Vec<u32>> = (0..512)
+            .map(|i| (0..8).map(|j| ((i * 31 + j * 17) % m) as u32).collect())
+            .collect();
+        bench(
+            "edge_loads",
+            &format!("accumulate_512paths_m{m}"),
+            50,
+            || {
+                let mut l = EdgeLoads::zeros(m);
+                for (i, p) in paths.iter().enumerate() {
+                    l.add_edges(p, 0.5 + (i % 7) as f64 * 0.25);
+                }
+                l.max()
+            },
+        );
+        let parts: Vec<EdgeLoads> = (0..32)
+            .map(|k| {
+                EdgeLoads::from_vec(
+                    (0..m)
+                        .map(|i| ((i * 13 + k * 7) % 51) as f64 * 0.125)
+                        .collect(),
+                )
+            })
+            .collect();
+        bench("edge_loads", &format!("merge_32parts_m{m}"), 50, || {
+            let mut acc = EdgeLoads::zeros(m);
+            for p in &parts {
+                acc.merge(p);
+            }
+            acc
+        });
+        bench("edge_loads", &format!("par_merge_32parts_m{m}"), 50, || {
+            EdgeLoads::par_merge(&parts)
+        });
+    }
+}
+
 fn bench_sampling() {
     let valiant = ValiantRouting::new(6);
     let pairs = all_pairs(64);
@@ -117,7 +161,7 @@ fn bench_solvers() {
     let ps = alpha_sample(&valiant, &d.support(), 4, &mut rng);
     let opts = SolveOptions::with_eps(0.1);
     bench("solvers", "restricted_mwu_hypercube6_alpha4", 10, || {
-        min_congestion_restricted(valiant.graph(), &d, ps.as_map(), &opts)
+        min_congestion_restricted(valiant.graph(), &d, ps.candidates(), &opts)
     });
     let grid = generators::grid(5, 5);
     let dperm = Demand::random_permutation(25, &mut rng);
@@ -132,7 +176,7 @@ fn bench_rounding_and_sim() {
     let valiant = ValiantRouting::new(5);
     let mut rng = StdRng::seed_from_u64(5);
     let ps = alpha_sample(&valiant, &d.support(), 4, &mut rng);
-    let sol = min_congestion_restricted(&q5, &d, ps.as_map(), &SolveOptions::with_eps(0.1));
+    let sol = min_congestion_restricted(&q5, &d, ps.candidates(), &SolveOptions::with_eps(0.1));
     bench("rounding_sim", "round_lemma63_hypercube5", 20, || {
         round_routing(&q5, &sol.routing, &d, 8, &mut rng)
     });
@@ -188,6 +232,7 @@ fn bench_paper_machinery() {
 fn main() {
     println!("ssor pipeline micro-benchmarks (offline harness)\n");
     bench_graph_substrate();
+    bench_edge_loads();
     bench_embeddings();
     bench_sampling();
     bench_engine();

@@ -45,15 +45,11 @@ impl ObliviousRouting for FrtEnsemble {
     }
     fn path_distribution(&self, s: u32, t: u32) -> Vec<(ssor_graph::Path, f64)> {
         let w = 1.0 / self.trees.len() as f64;
-        let mut acc: std::collections::HashMap<Vec<u32>, (ssor_graph::Path, f64)> =
-            std::collections::HashMap::new();
+        let mut acc = ssor_oblivious::DistributionBuilder::new();
         for tr in &self.trees {
-            let p = tr.path(&self.graph, s, t);
-            acc.entry(p.edges().to_vec()).or_insert_with(|| (p, 0.0)).1 += w;
+            acc.add(&tr.path(&self.graph, s, t), w);
         }
-        let mut out: Vec<_> = acc.into_values().collect();
-        out.sort_by(|a, b| a.0.edges().cmp(b.0.edges()));
-        out
+        acc.finish()
     }
 }
 

@@ -43,7 +43,7 @@ fn main() {
         let sol = min_congestion_restricted(
             valiant.graph(),
             &d,
-            ps.as_map(),
+            ps.candidates(),
             &SolveOptions {
                 eps,
                 max_iters: 20_000,
@@ -69,11 +69,12 @@ fn main() {
     let small = ValiantRouting::new(3);
     let ds = Demand::hypercube_complement(3);
     let pss = alpha_sample(&small, &ds.support(), 3, &mut rng);
-    let exact = exact_restricted_congestion(small.graph(), &ds, pss.as_map()).expect("feasible LP");
+    let exact =
+        exact_restricted_congestion(small.graph(), &ds, pss.candidates()).expect("feasible LP");
     let fw = min_congestion_restricted(
         small.graph(),
         &ds,
-        pss.as_map(),
+        pss.candidates(),
         &SolveOptions {
             eps: 0.01,
             max_iters: 20_000,

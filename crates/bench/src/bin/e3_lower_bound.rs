@@ -95,7 +95,7 @@ fn main() {
         let measured = if adv.demand.is_empty() {
             0.0
         } else {
-            min_congestion_restricted(&g, &adv.demand, ps.as_map(), &opts).congestion
+            min_congestion_restricted(&g, &adv.demand, ps.candidates(), &opts).congestion
         };
         let witness = optimal_witness(&g, &meta, &adv.demand);
         let opt = witness.congestion(&g);

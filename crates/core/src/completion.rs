@@ -149,7 +149,7 @@ impl CompletionTimeRouter {
         assert!(!d.is_empty(), "empty demand has nothing to route");
         let mut best: Option<CompletionRoute> = None;
         for (i, ps) in self.per_scale.iter().enumerate() {
-            let sol = min_congestion_restricted(&self.graph, d, ps.as_map(), opts);
+            let sol = min_congestion_restricted(&self.graph, d, ps.candidates(), opts);
             let dil = sol.routing.dilation(d);
             let cand = CompletionRoute {
                 congestion: sol.congestion,

@@ -1,13 +1,21 @@
 //! Path systems (Definition 2.1): the combinatorial object a semi-oblivious
 //! routing *is*.
 
-use ssor_graph::{Graph, Path, VertexId};
+use ssor_flow::Candidates;
+use ssor_graph::{Graph, Path, PathId, PathStore, VertexId};
 use std::collections::BTreeMap;
 
 /// A path system `P = {P(s, t)}`: a set of simple `(s, t)`-paths per vertex
 /// pair (Definition 2.1). A semi-oblivious routing is exactly a path system
 /// together with the Stage-4 promise to route optimally within it
 /// (Definition 5.1).
+///
+/// Paths are stored interned in a [`PathStore`] arena: each distinct path
+/// lives once, a pair's candidate list is a `Vec<PathId>`, and the
+/// duplicate check in [`PathSystem::insert`] is a hash lookup plus an id
+/// scan — never an edge-vector comparison. Owned [`Path`]s appear only at
+/// the boundary ([`PathSystem::paths`] materializes; use
+/// [`PathSystem::path_ids`] + [`PathSystem::store`] in hot paths).
 ///
 /// # Examples
 ///
@@ -22,9 +30,10 @@ use std::collections::BTreeMap;
 /// assert_eq!(ps.sparsity(), 2);
 /// assert_eq!(ps.paths(0, 3).unwrap().len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct PathSystem {
-    per_pair: BTreeMap<(VertexId, VertexId), Vec<Path>>,
+    store: PathStore,
+    per_pair: BTreeMap<(VertexId, VertexId), Vec<PathId>>,
 }
 
 impl PathSystem {
@@ -37,7 +46,11 @@ impl PathSystem {
     /// edge sequence) is already present. Returns whether it was inserted.
     ///
     /// Duplicates are collapsed because Definition 5.2 samples *with
-    /// replacement* into a *set*.
+    /// replacement* into a *set*: drawing the same path twice still yields
+    /// one candidate, so `|P(s, t)| <= α` after `α` draws. The check is
+    /// arena-backed — the path is interned once (hash + dedup in the
+    /// [`PathStore`]) and membership is an `O(|P(s, t)|)` scan over
+    /// `Copy`able [`PathId`]s, not a scan comparing edge vectors.
     ///
     /// # Panics
     ///
@@ -46,18 +59,71 @@ impl PathSystem {
         assert!(path.is_simple(), "path systems contain simple paths only");
         assert!(path.hop() >= 1, "paths must have at least one edge");
         let key = (path.source(), path.target());
+        self.push_interned(key, path.vertices(), path.edges())
+    }
+
+    /// The one intern-then-dedup-push sequence every mutating entry point
+    /// funnels through ([`insert`], [`absorb`], [`with_hop_cap`]).
+    ///
+    /// [`insert`]: PathSystem::insert
+    /// [`absorb`]: PathSystem::absorb
+    /// [`with_hop_cap`]: PathSystem::with_hop_cap
+    fn push_interned(
+        &mut self,
+        key: (VertexId, VertexId),
+        vertices: &[VertexId],
+        edges: &[ssor_graph::EdgeId],
+    ) -> bool {
+        let id = self.store.intern_parts(vertices, edges);
         let entry = self.per_pair.entry(key).or_default();
-        if entry.iter().any(|p| p.edges() == path.edges()) {
+        if entry.contains(&id) {
             false
         } else {
-            entry.push(path);
+            entry.push(id);
             true
         }
     }
 
-    /// The candidate paths for `(s, t)`, if any.
-    pub fn paths(&self, s: VertexId, t: VertexId) -> Option<&[Path]> {
+    /// The candidate paths for `(s, t)`, materialized as owned [`Path`]s.
+    ///
+    /// Boundary/debug accessor: hot paths should read
+    /// [`PathSystem::path_ids`] against [`PathSystem::store`] instead.
+    pub fn paths(&self, s: VertexId, t: VertexId) -> Option<Vec<Path>> {
+        self.per_pair
+            .get(&(s, t))
+            .map(|ids| ids.iter().map(|&id| self.store.materialize(id)).collect())
+    }
+
+    /// The interned candidate ids for `(s, t)`, if any.
+    pub fn path_ids(&self, s: VertexId, t: VertexId) -> Option<&[PathId]> {
         self.per_pair.get(&(s, t)).map(|v| v.as_slice())
+    }
+
+    /// Whether `(s, t)` has at least one candidate (no materialization).
+    pub fn covers_pair(&self, s: VertexId, t: VertexId) -> bool {
+        // Entries are created on insert and dropped when emptied, so
+        // presence implies at least one candidate.
+        self.per_pair.contains_key(&(s, t))
+    }
+
+    /// The first candidate path for `(s, t)`, materialized — the
+    /// "arbitrary candidate" callers (Lemma 5.16 remainder routing, stale
+    /// TE rates) without cloning the whole list.
+    pub fn first_path(&self, s: VertexId, t: VertexId) -> Option<Path> {
+        self.per_pair
+            .get(&(s, t))
+            .map(|ids| self.store.materialize(ids[0]))
+    }
+
+    /// The arena the candidate ids resolve against.
+    pub fn store(&self) -> &PathStore {
+        &self.store
+    }
+
+    /// The borrowed `(store, per-pair ids)` view the Stage-4 solvers
+    /// consume (see [`ssor_flow::Candidates`]).
+    pub fn candidates(&self) -> Candidates<'_> {
+        Candidates::new(&self.store, &self.per_pair)
     }
 
     /// Pairs with at least one candidate path.
@@ -98,28 +164,37 @@ impl PathSystem {
             .all(|(&(s, t), ps)| ps.len() <= alpha + cut_bound(s, t))
     }
 
+    /// Absorbs every path of `other` into `self` (deduplicating), copying
+    /// the raw vertex/edge data between arenas without materializing
+    /// [`Path`] objects.
+    pub fn absorb(&mut self, other: &PathSystem) {
+        for (&key, ids) in &other.per_pair {
+            for &oid in ids {
+                self.push_interned(key, other.store.vertices(oid), other.store.edges(oid));
+            }
+        }
+    }
+
     /// Union of two path systems (used by the Section 7 completion-time
     /// construction, which unions per-hop-scale samples).
     pub fn union(&self, other: &PathSystem) -> PathSystem {
         let mut out = self.clone();
-        for paths in other.per_pair.values() {
-            for p in paths {
-                out.insert(p.clone());
-            }
-        }
+        out.absorb(other);
         out
     }
 
     /// Removes all paths crossing edge `e` (used for failure experiments),
     /// returning the number of removed paths. Pairs may become empty and
-    /// are then dropped entirely.
+    /// are then dropped entirely. The arena is append-only, so removal
+    /// drops ids without reclaiming the underlying path data.
     pub fn remove_paths_through(&mut self, e: ssor_graph::EdgeId) -> usize {
+        let store = &self.store;
         let mut removed = 0;
-        self.per_pair.retain(|_, paths| {
-            let before = paths.len();
-            paths.retain(|p| !p.contains_edge(e));
-            removed += before - paths.len();
-            !paths.is_empty()
+        self.per_pair.retain(|_, ids| {
+            let before = ids.len();
+            ids.retain(|&id| !store.contains_edge(id, e));
+            removed += before - ids.len();
+            !ids.is_empty()
         });
         removed
     }
@@ -128,37 +203,57 @@ impl PathSystem {
     /// candidates are dropped.
     pub fn with_hop_cap(&self, max_hop: usize) -> PathSystem {
         let mut out = PathSystem::new();
-        for paths in self.per_pair.values() {
-            for p in paths {
-                if p.hop() <= max_hop {
-                    out.insert(p.clone());
+        for (&key, ids) in &self.per_pair {
+            for &id in ids {
+                if self.store.hop(id) <= max_hop {
+                    out.push_interned(key, self.store.vertices(id), self.store.edges(id));
                 }
             }
         }
         out
     }
 
-    /// Validates every path against `g`.
+    /// Validates every path against `g` (without materializing).
     pub fn is_valid(&self, g: &Graph) -> bool {
-        self.per_pair.iter().all(|(&(s, t), paths)| {
-            paths
-                .iter()
-                .all(|p| p.source() == s && p.target() == t && p.is_valid(g) && p.is_simple())
+        self.per_pair.iter().all(|(&(s, t), ids)| {
+            ids.iter().all(|&id| {
+                self.store.source(id) == s
+                    && self.store.target(id) == t
+                    && self.store.is_valid(id, g)
+                    && self.store.is_simple(id)
+            })
         })
-    }
-
-    /// Read-only view of the underlying map (for the flow solvers).
-    pub fn as_map(&self) -> &BTreeMap<(VertexId, VertexId), Vec<Path>> {
-        &self.per_pair
     }
 
     /// Maximum hop length over all stored paths (global dilation bound).
     pub fn max_hop(&self) -> usize {
         self.per_pair
             .values()
-            .flat_map(|ps| ps.iter().map(Path::hop))
+            .flat_map(|ids| ids.iter().map(|&id| self.store.hop(id)))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Logical equality: same pairs, and per pair the same path sequences in
+/// the same order — independent of arena ids or interning history, so two
+/// systems built by differently-chunked parallel samplers compare equal
+/// whenever their contents agree.
+impl PartialEq for PathSystem {
+    fn eq(&self, other: &PathSystem) -> bool {
+        self.per_pair.len() == other.per_pair.len()
+            && self
+                .per_pair
+                .iter()
+                .zip(other.per_pair.iter())
+                .all(|((ka, ids_a), (kb, ids_b))| {
+                    ka == kb
+                        && ids_a.len() == ids_b.len()
+                        && ids_a.iter().zip(ids_b.iter()).all(|(&a, &b)| {
+                            self.store.edges(a) == other.store.edges(b)
+                                && self.store.vertices(a) == other.store.vertices(b)
+                        })
+                })
     }
 }
 
@@ -182,6 +277,8 @@ mod tests {
         let dup = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
         assert!(!ps.insert(dup));
         assert_eq!(ps.paths(0, 3).unwrap().len(), 2);
+        // The arena holds each distinct path once.
+        assert_eq!(ps.store().len(), 3);
     }
 
     #[test]
@@ -243,5 +340,29 @@ mod tests {
         let (g, ps) = ring_system();
         assert!(ps.is_valid(&g));
         assert_eq!(ps.max_hop(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_interning_history() {
+        let (g, ps) = ring_system();
+        // Build the same logical system with a different arena layout
+        // (extra interned-then-unused data, different insertion order of
+        // other pairs' paths).
+        let mut other = PathSystem::new();
+        other.insert(Path::from_vertices(&g, &[1, 2]).unwrap());
+        other.insert(Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        other.insert(Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        assert_eq!(ps, other);
+        let mut different = other.clone();
+        different.insert(Path::from_vertices(&g, &[2, 3]).unwrap());
+        assert_ne!(ps, different);
+    }
+
+    #[test]
+    fn candidates_view_matches_contents() {
+        let (_, ps) = ring_system();
+        let view = ps.candidates();
+        assert_eq!(view.ids(0, 3).unwrap().len(), 2);
+        assert_eq!(view.materialize(1, 2).unwrap(), ps.paths(1, 2).unwrap());
     }
 }

@@ -172,7 +172,7 @@ pub fn alpha_sample_via_reduction<O: ObliviousRouting + ?Sized, R: Rng>(
     let mut out = PathSystem::new();
     for (a, b) in aux.aux_pairs.iter().copied() {
         if let Some(paths) = sampled.paths(a, b) {
-            for p in paths {
+            for p in &paths {
                 out.insert(aux.map_back(g, p));
             }
         }

@@ -81,7 +81,7 @@ impl SemiObliviousRouter {
     pub fn covers(&self, d: &Demand) -> bool {
         d.support()
             .iter()
-            .all(|&(s, t)| self.paths.paths(s, t).is_some_and(|p| !p.is_empty()))
+            .all(|&(s, t)| self.paths.covers_pair(s, t))
     }
 
     /// Stage 4 (fractional): the demand-dependent optimal rates on the
@@ -91,7 +91,7 @@ impl SemiObliviousRouter {
     ///
     /// Panics if the path system does not cover the demand's support.
     pub fn route_fractional(&self, d: &Demand, opts: &SolveOptions) -> MinCongSolution {
-        min_congestion_restricted(&self.graph, d, self.paths.as_map(), opts)
+        min_congestion_restricted(&self.graph, d, self.paths.candidates(), opts)
     }
 
     /// Stage 4 (integral): route, then round with Lemma 6.3 plus local

@@ -186,9 +186,9 @@ pub fn weak_to_strong(
         let mut arb = Routing::new();
         for ((s, t), _) in remaining.iter() {
             let cand = paths
-                .paths(s, t)
+                .first_path(s, t)
                 .unwrap_or_else(|| panic!("no candidate paths for ({s}, {t})"));
-            arb.set_distribution(s, t, vec![(cand[0].clone(), 1.0)]);
+            arb.set_distribution(s, t, vec![(cand, 1.0)]);
         }
         let new_covered = covered.plus(&remaining);
         combined = Some(match combined {

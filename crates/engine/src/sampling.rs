@@ -102,9 +102,14 @@ pub fn par_alpha_sample<O: ObliviousRouting + Sync + ?Sized>(
             ps
         })
         .collect();
+    // Merge in chunk order by absorbing into one arena (raw slice copies,
+    // no Path materialization, no quadratic re-cloning). The result is
+    // logically identical at any thread count: each pair's draws happen
+    // inside exactly one chunk, and per-pair candidate order is draw
+    // order.
     let mut out = PathSystem::new();
     for p in &partials {
-        out = out.union(p);
+        out.absorb(p);
     }
     out
 }

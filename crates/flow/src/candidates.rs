@@ -1,0 +1,127 @@
+//! Candidate-path views: the interned representation Stage-4 solvers
+//! consume.
+//!
+//! A semi-oblivious routing's candidate sets live in `ssor-core`'s
+//! `PathSystem` (Definition 2.1), which stores paths interned in a
+//! [`PathStore`]. The solvers in this crate only need a *borrowed view* of
+//! that structure — the arena plus per-pair id lists — so they take a
+//! [`Candidates`] rather than a concrete path-system type, keeping the
+//! crate DAG acyclic. Callers without a path system (tests, ad-hoc
+//! experiments) can build an owned [`CandidateSet`] instead.
+
+use ssor_graph::{Path, PathId, PathStore, VertexId};
+use std::collections::BTreeMap;
+
+/// A borrowed candidate-path view: a path arena plus per-pair candidate
+/// ids. `Copy`, so it threads through solver plumbing freely.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_flow::CandidateSet;
+/// use ssor_graph::{generators, Path};
+///
+/// let g = generators::ring(6);
+/// let mut set = CandidateSet::new();
+/// set.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+/// set.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+/// let view = set.as_candidates();
+/// assert_eq!(view.ids(0, 3).unwrap().len(), 2);
+/// assert!(view.ids(1, 4).is_none());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Candidates<'a> {
+    store: &'a PathStore,
+    per_pair: &'a BTreeMap<(VertexId, VertexId), Vec<PathId>>,
+}
+
+impl<'a> Candidates<'a> {
+    /// Wraps an arena and a per-pair id map. Every id must come from
+    /// `store`.
+    pub fn new(
+        store: &'a PathStore,
+        per_pair: &'a BTreeMap<(VertexId, VertexId), Vec<PathId>>,
+    ) -> Self {
+        Candidates { store, per_pair }
+    }
+
+    /// The backing arena.
+    pub fn store(&self) -> &'a PathStore {
+        self.store
+    }
+
+    /// Candidate ids for `(s, t)`, if any.
+    pub fn ids(&self, s: VertexId, t: VertexId) -> Option<&'a [PathId]> {
+        self.per_pair.get(&(s, t)).map(|v| v.as_slice())
+    }
+
+    /// Pairs with at least one candidate.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + 'a {
+        self.per_pair.keys().copied()
+    }
+
+    /// Materializes the candidates of `(s, t)` as owned [`Path`]s (the
+    /// boundary type; use [`Candidates::ids`] in hot paths).
+    pub fn materialize(&self, s: VertexId, t: VertexId) -> Option<Vec<Path>> {
+        self.ids(s, t)
+            .map(|ids| ids.iter().map(|&id| self.store.materialize(id)).collect())
+    }
+}
+
+/// An owned candidate set: the minimal `(arena, per-pair ids)` pair for
+/// callers that do not have a full `PathSystem` (see [`Candidates`]).
+///
+/// Duplicate inserts (same endpoints and edge sequence) collapse, same as
+/// `PathSystem::insert`.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    store: PathStore,
+    per_pair: BTreeMap<(VertexId, VertexId), Vec<PathId>>,
+}
+
+impl CandidateSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        CandidateSet::default()
+    }
+
+    /// Adds `path` to its endpoint pair's candidates; returns whether it
+    /// was new.
+    pub fn insert(&mut self, path: &Path) -> bool {
+        let id = self.store.intern(path);
+        let entry = self
+            .per_pair
+            .entry((path.source(), path.target()))
+            .or_default();
+        if entry.contains(&id) {
+            false
+        } else {
+            entry.push(id);
+            true
+        }
+    }
+
+    /// The borrowed view solvers consume.
+    pub fn as_candidates(&self) -> Candidates<'_> {
+        Candidates::new(&self.store, &self.per_pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssor_graph::generators;
+
+    #[test]
+    fn insert_dedups_and_materializes() {
+        let g = generators::ring(6);
+        let p = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let mut set = CandidateSet::new();
+        assert!(set.insert(&p));
+        assert!(!set.insert(&p));
+        let view = set.as_candidates();
+        assert_eq!(view.pairs().collect::<Vec<_>>(), vec![(0, 2)]);
+        assert_eq!(view.materialize(0, 2).unwrap(), vec![p]);
+        assert!(view.materialize(2, 0).is_none());
+    }
+}

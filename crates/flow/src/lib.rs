@@ -14,6 +14,9 @@
 //! * [`mincong`] — Frank–Wolfe min-congestion solver with dual
 //!   certificates, both restricted to a candidate path system (Stage-4 rate
 //!   adaptation) and unrestricted (offline fractional OPT);
+//! * [`Candidates`] / [`CandidateSet`] — the interned candidate-path view
+//!   the restricted solver consumes (a `PathStore` arena plus per-pair
+//!   `PathId` lists);
 //! * [`lp`] — a small dense two-phase simplex used to cross-validate the
 //!   Frank–Wolfe solver exactly;
 //! * [`rounding`] — the Lemma 6.3 randomized rounding plus local search;
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod candidates;
 pub mod decompose;
 mod demand;
 pub mod integral_opt;
@@ -43,6 +47,7 @@ pub mod mincong;
 pub mod rounding;
 mod routing;
 
+pub use candidates::{CandidateSet, Candidates};
 pub use demand::Demand;
 pub use mincong::{MinCongSolution, SolveOptions};
 pub use routing::{IntegralRouting, Routing, WeightedPath};

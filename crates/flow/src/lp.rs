@@ -9,8 +9,7 @@
 //! `b >= 0` (negate rows to normalize).
 
 use crate::demand::Demand;
-use ssor_graph::{Graph, Path, VertexId};
-use std::collections::BTreeMap;
+use ssor_graph::Graph;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,23 +204,24 @@ fn pivot(
 pub fn exact_restricted_congestion(
     g: &Graph,
     d: &Demand,
-    candidates: &BTreeMap<(VertexId, VertexId), Vec<Path>>,
+    candidates: crate::Candidates<'_>,
 ) -> Option<f64> {
     let pairs = d.support();
     if pairs.is_empty() {
         return Some(0.0);
     }
+    let store = candidates.store();
     // Variables: x_{pair,path} for each candidate, then lambda, then one
     // slack per edge.
-    let mut var_paths: Vec<(usize, &Path)> = Vec::new(); // (pair index, path)
+    let mut var_paths: Vec<(usize, ssor_graph::PathId)> = Vec::new(); // (pair index, path)
     let mut pair_offsets = Vec::with_capacity(pairs.len());
     for (pi, &(s, t)) in pairs.iter().enumerate() {
         let cands = candidates
-            .get(&(s, t))
+            .ids(s, t)
             .unwrap_or_else(|| panic!("no candidates for ({s}, {t})"));
         assert!(!cands.is_empty());
         pair_offsets.push(var_paths.len());
-        for p in cands {
+        for &p in cands {
             var_paths.push((pi, p));
         }
     }
@@ -247,7 +247,11 @@ pub fn exact_restricted_congestion(
     for e in 0..g.m() {
         let mut row = vec![0.0; nvars];
         for (vi, &(_, p)) in var_paths.iter().enumerate() {
-            let cnt = p.edges().iter().filter(|&&pe| pe as usize == e).count();
+            let cnt = store
+                .edges(p)
+                .iter()
+                .filter(|&&pe| pe as usize == e)
+                .count();
             if cnt > 0 {
                 row[vi] = cnt as f64;
             }
@@ -270,7 +274,7 @@ pub fn exact_restricted_congestion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssor_graph::generators;
+    use ssor_graph::{generators, Path};
 
     #[test]
     fn solves_tiny_lp() {
@@ -320,29 +324,21 @@ mod tests {
     #[test]
     fn exact_congestion_on_ring_split() {
         let g = generators::ring(6);
-        let mut cands = BTreeMap::new();
-        cands.insert(
-            (0u32, 3u32),
-            vec![
-                Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap(),
-                Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap(),
-            ],
-        );
+        let mut cands = crate::CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        cands.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
         let d = Demand::from_pairs(&[(0, 3)]);
-        let opt = exact_restricted_congestion(&g, &d, &cands).unwrap();
+        let opt = exact_restricted_congestion(&g, &d, cands.as_candidates()).unwrap();
         assert!((opt - 0.5).abs() < 1e-7, "opt = {opt}");
     }
 
     #[test]
     fn exact_congestion_single_path() {
         let g = generators::ring(5);
-        let mut cands = BTreeMap::new();
-        cands.insert(
-            (0u32, 2u32),
-            vec![Path::from_vertices(&g, &[0, 1, 2]).unwrap()],
-        );
+        let mut cands = crate::CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2]).unwrap());
         let d = Demand::from_pairs(&[(0, 2)]).scaled(4.0);
-        let opt = exact_restricted_congestion(&g, &d, &cands).unwrap();
+        let opt = exact_restricted_congestion(&g, &d, cands.as_candidates()).unwrap();
         assert!((opt - 4.0).abs() < 1e-7);
     }
 
@@ -355,7 +351,7 @@ mod tests {
         for trial in 0..8 {
             let g = generators::erdos_renyi(8, 0.45, &mut rng);
             // Random candidate sets from shortest + random simple paths.
-            let mut cands: BTreeMap<(u32, u32), Vec<Path>> = BTreeMap::new();
+            let mut cands = crate::CandidateSet::new();
             let mut d = Demand::new();
             for _ in 0..4 {
                 let s = rng.gen_range(0..8) as u32;
@@ -368,16 +364,18 @@ mod tests {
                     continue;
                 }
                 d.set(s, t, rng.gen_range(1..4) as f64);
-                cands.insert((s, t), all);
+                for p in &all {
+                    cands.insert(p);
+                }
             }
             if d.is_empty() {
                 continue;
             }
-            let exact = exact_restricted_congestion(&g, &d, &cands).unwrap();
+            let exact = exact_restricted_congestion(&g, &d, cands.as_candidates()).unwrap();
             let fw = min_congestion_restricted(
                 &g,
                 &d,
-                &cands,
+                cands.as_candidates(),
                 &SolveOptions {
                     eps: 0.01,
                     max_iters: 4000,

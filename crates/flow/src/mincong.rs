@@ -21,12 +21,20 @@
 //! `sum_e w_e * load_e <= λ * sum_e w_e` while every unit of demand pays at
 //! least the min-weight path. The solver reports the best such bound seen,
 //! so callers can verify the optimality gap of every number we report.
+//!
+//! Internally the solver works on the workspace's shared representation
+//! layer: edge loads accumulate in a dense [`EdgeLoads`], and every
+//! discovered path is interned into a per-solve [`PathStore`] so path
+//! identity is a `Copy`-able [`PathId`] comparison instead of an
+//! edge-vector scan. Owned [`Path`]s only appear at the boundary, in the
+//! returned [`Routing`].
 
+use crate::candidates::Candidates;
 use crate::demand::Demand;
 use crate::routing::Routing;
-use ssor_graph::shortest_path::dijkstra_tree;
-use ssor_graph::{Graph, Path, VertexId};
-use std::collections::{BTreeMap, HashMap};
+use ssor_graph::shortest_path::dijkstra_tree_csr;
+use ssor_graph::{Csr, EdgeLoads, Graph, Path, PathId, PathStore, VertexId};
+use std::collections::BTreeMap;
 
 /// Result of a min-congestion solve.
 #[derive(Debug, Clone)]
@@ -62,78 +70,100 @@ impl MinCongSolution {
 /// Restricting the oracle restricts the LP: candidate-set oracles give the
 /// semi-oblivious Stage-4 problem, the all-paths oracle gives offline OPT.
 pub trait PathOracle {
-    /// For each pair `(s, t)`, the minimum-weight usable path and its
-    /// weight under `w` (indexed by edge id). Pairs are distinct.
-    fn best_paths(&mut self, pairs: &[(VertexId, VertexId)], w: &[f64]) -> Vec<(Path, f64)>;
+    /// For each pair `(s, t)`, interns the minimum-weight usable path into
+    /// `store` and returns `(id, weight)` under `w` (indexed by edge id).
+    /// Pairs are distinct.
+    fn best_paths(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        w: &[f64],
+        store: &mut PathStore,
+    ) -> Vec<(PathId, f64)>;
 }
 
 /// Oracle over an explicit candidate set per pair (the path system).
 #[derive(Debug)]
 pub struct CandidateOracle<'a> {
-    candidates: &'a BTreeMap<(VertexId, VertexId), Vec<Path>>,
+    candidates: Candidates<'a>,
 }
 
 impl<'a> CandidateOracle<'a> {
     /// Creates the oracle; every queried pair must have at least one
     /// candidate.
-    pub fn new(candidates: &'a BTreeMap<(VertexId, VertexId), Vec<Path>>) -> Self {
+    pub fn new(candidates: Candidates<'a>) -> Self {
         CandidateOracle { candidates }
     }
 }
 
 impl PathOracle for CandidateOracle<'_> {
-    fn best_paths(&mut self, pairs: &[(VertexId, VertexId)], w: &[f64]) -> Vec<(Path, f64)> {
+    fn best_paths(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        w: &[f64],
+        store: &mut PathStore,
+    ) -> Vec<(PathId, f64)> {
+        let ext = self.candidates.store();
         pairs
             .iter()
             .map(|&(s, t)| {
                 let cands = self
                     .candidates
-                    .get(&(s, t))
+                    .ids(s, t)
                     .unwrap_or_else(|| panic!("no candidate paths for pair ({s}, {t})"));
                 assert!(!cands.is_empty(), "empty candidate set for ({s}, {t})");
-                let mut best: Option<(usize, f64)> = None;
-                for (i, p) in cands.iter().enumerate() {
-                    let cost: f64 = p.edges().iter().map(|&e| w[e as usize]).sum();
+                let mut best: Option<(PathId, f64)> = None;
+                for &id in cands {
+                    let cost = ext.weight(id, w);
                     if best.is_none_or(|(_, bc)| cost < bc) {
-                        best = Some((i, cost));
+                        best = Some((id, cost));
                     }
                 }
-                let (i, cost) = best.unwrap();
-                (cands[i].clone(), cost)
+                let (id, cost) = best.unwrap();
+                (store.intern_parts(ext.vertices(id), ext.edges(id)), cost)
             })
             .collect()
     }
 }
 
 /// Oracle over *all* simple paths via Dijkstra (column generation). Groups
-/// queries by source so each distinct source costs one Dijkstra run.
+/// queries by source so each distinct source costs one Dijkstra run, over
+/// a CSR adjacency built once for the whole solve.
 #[derive(Debug)]
 pub struct AllPathsOracle<'a> {
     graph: &'a Graph,
+    csr: Csr,
 }
 
 impl<'a> AllPathsOracle<'a> {
     /// Creates an oracle over the whole graph.
     pub fn new(graph: &'a Graph) -> Self {
-        AllPathsOracle { graph }
+        AllPathsOracle {
+            graph,
+            csr: graph.csr(),
+        }
     }
 }
 
 impl PathOracle for AllPathsOracle<'_> {
-    fn best_paths(&mut self, pairs: &[(VertexId, VertexId)], w: &[f64]) -> Vec<(Path, f64)> {
+    fn best_paths(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        w: &[f64],
+        store: &mut PathStore,
+    ) -> Vec<(PathId, f64)> {
         let mut by_source: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
         for (i, &(s, _)) in pairs.iter().enumerate() {
             by_source.entry(s).or_default().push(i);
         }
-        let mut out: Vec<Option<(Path, f64)>> = vec![None; pairs.len()];
+        let mut out: Vec<Option<(PathId, f64)>> = vec![None; pairs.len()];
         for (s, idxs) in by_source {
-            let tree = dijkstra_tree(self.graph, s, &|e| w[e as usize]);
+            let tree = dijkstra_tree_csr(&self.csr, s, &|e| w[e as usize]);
             for i in idxs {
                 let t = pairs[i].1;
                 let p = tree
                     .path_to(self.graph, t)
                     .unwrap_or_else(|| panic!("graph disconnected between {s} and {t}"));
-                out[i] = Some((p, tree.dist_to(t)));
+                out[i] = Some((store.intern(&p), tree.dist_to(t)));
             }
         }
         out.into_iter().map(Option::unwrap).collect()
@@ -168,26 +198,24 @@ impl SolveOptions {
     }
 }
 
-/// Per-pair convex combination over discovered paths.
+/// Per-pair convex combination over discovered paths (interned in the
+/// solve's shared [`PathStore`]; membership is an id scan, never an
+/// edge-vector comparison).
 struct PairState {
     pair: (VertexId, VertexId),
     demand: f64,
-    paths: Vec<Path>,
+    ids: Vec<PathId>,
     weights: Vec<f64>,
-    index: HashMap<Vec<u32>, usize>,
 }
 
 impl PairState {
-    fn ensure_path(&mut self, p: &Path) -> usize {
-        let key = p.edges().to_vec();
-        if let Some(&i) = self.index.get(&key) {
+    fn ensure(&mut self, id: PathId) -> usize {
+        if let Some(i) = self.ids.iter().position(|&x| x == id) {
             i
         } else {
-            let i = self.paths.len();
-            self.index.insert(key, i);
-            self.paths.push(p.clone());
+            self.ids.push(id);
             self.weights.push(0.0);
-            i
+            self.ids.len() - 1
         }
     }
 }
@@ -225,21 +253,24 @@ pub fn min_congestion(
     let m = g.m();
     let demands: Vec<f64> = pairs.iter().map(|&(s, t)| d.get(s, t)).collect();
 
+    // One arena per solve: every path the oracle returns is interned here,
+    // so re-discovered best responses dedup to the same id for free.
+    let mut store = PathStore::new();
+
     // Initialize with the min-hop best response (all weights 1).
     let ones = vec![1.0; m];
-    let first = oracle.best_paths(&pairs, &ones);
+    let first = oracle.best_paths(&pairs, &ones, &mut store);
     let mut states: Vec<PairState> = pairs
         .iter()
         .zip(demands.iter())
         .map(|(&pair, &dem)| PairState {
             pair,
             demand: dem,
-            paths: Vec::new(),
+            ids: Vec::new(),
             weights: Vec::new(),
-            index: HashMap::new(),
         })
         .collect();
-    let mut loads = vec![0.0f64; m];
+    let mut loads = EdgeLoads::zeros(m);
     let mut lower_bound = 0.0f64;
     {
         // Dual bound from the all-ones weights.
@@ -250,12 +281,10 @@ pub fn min_congestion(
             .sum();
         lower_bound = lower_bound.max(num / m as f64);
     }
-    for (st, (p, _)) in states.iter_mut().zip(first.iter()) {
-        let i = st.ensure_path(p);
+    for (st, &(id, _)) in states.iter_mut().zip(first.iter()) {
+        let i = st.ensure(id);
         st.weights[i] = 1.0;
-        for &e in p.edges() {
-            loads[e as usize] += st.demand;
-        }
+        loads.add_path(&store, id, st.demand);
     }
 
     // Staged smoothing: start with a coarse softmax (fast global progress)
@@ -268,10 +297,11 @@ pub fn min_congestion(
     let mut stall = 0usize;
     let mut prev_ub = f64::INFINITY;
 
+    let mut loads_y = EdgeLoads::zeros(m);
     let mut iterations = 0;
     for it in 0..opts.max_iters {
         iterations = it + 1;
-        let ub = loads.iter().cloned().fold(0.0, f64::max);
+        let ub = loads.max();
         if ub <= 0.0 {
             break;
         }
@@ -291,11 +321,11 @@ pub fn min_congestion(
         let beta = (m as f64).ln().max(1.0) / (0.25 * stage_eps * ub);
         // Softmax gradient weights (scaled to max 1 for numerical safety).
         let mx = ub;
-        let w: Vec<f64> = loads.iter().map(|&l| ((l - mx) * beta).exp()).collect();
+        let w: Vec<f64> = loads.iter().map(|l| ((l - mx) * beta).exp()).collect();
         let wsum: f64 = w.iter().sum();
 
         // Best response under w.
-        let best = oracle.best_paths(&pairs, &w);
+        let best = oracle.best_paths(&pairs, &w, &mut store);
 
         // Dual certificate from these weights.
         let num: f64 = best
@@ -310,11 +340,9 @@ pub fn min_congestion(
         }
 
         // Loads of the pure best-response routing.
-        let mut loads_y = vec![0.0f64; m];
-        for ((p, _), dem) in best.iter().zip(demands.iter()) {
-            for &e in p.edges() {
-                loads_y[e as usize] += dem;
-            }
+        loads_y.clear();
+        for (&(id, _), dem) in best.iter().zip(demands.iter()) {
+            loads_y.add_path(&store, id, *dem);
         }
 
         // Exact line search on the softmax potential (convex in gamma).
@@ -322,7 +350,7 @@ pub fn min_congestion(
             let mixed: Vec<f64> = loads
                 .iter()
                 .zip(loads_y.iter())
-                .map(|(&a, &b)| (1.0 - gamma) * a + gamma * b)
+                .map(|(a, b)| (1.0 - gamma) * a + gamma * b)
                 .collect();
             softmax(&mixed, beta)
         };
@@ -355,24 +383,25 @@ pub fn min_congestion(
                 *wgt *= 1.0 - gamma;
             }
         }
-        for (st, (p, _)) in states.iter_mut().zip(best.iter()) {
-            let i = st.ensure_path(p);
+        for (st, &(id, _)) in states.iter_mut().zip(best.iter()) {
+            let i = st.ensure(id);
             st.weights[i] += gamma;
         }
-        for e in 0..m {
-            loads[e] = (1.0 - gamma) * loads[e] + gamma * loads_y[e];
+        for (a, b) in loads.as_mut_slice().iter_mut().zip(loads_y.as_slice()) {
+            *a = (1.0 - gamma) * *a + gamma * b;
         }
     }
 
-    // Assemble the routing.
+    // Assemble the routing (paths materialize out of the arena only here,
+    // at the boundary).
     let mut routing = Routing::new();
     for st in &states {
         let dist: Vec<(Path, f64)> = st
-            .paths
+            .ids
             .iter()
-            .cloned()
-            .zip(st.weights.iter().cloned())
-            .filter(|(_, w)| *w > 1e-15)
+            .zip(st.weights.iter())
+            .filter(|(_, w)| **w > 1e-15)
+            .map(|(&id, &w)| (store.materialize(id), w))
             .collect();
         routing.set_distribution(st.pair.0, st.pair.1, dist);
     }
@@ -386,7 +415,8 @@ pub fn min_congestion(
 }
 
 /// Stage-4 rate adaptation: `cong_R(P, d)` over the candidate sets
-/// (Definition 5.1).
+/// (Definition 5.1). `candidates` is the interned view a `PathSystem`
+/// exposes through its `candidates()` method.
 ///
 /// # Panics
 ///
@@ -394,7 +424,7 @@ pub fn min_congestion(
 pub fn min_congestion_restricted(
     g: &Graph,
     d: &Demand,
-    candidates: &BTreeMap<(VertexId, VertexId), Vec<Path>>,
+    candidates: Candidates<'_>,
     opts: &SolveOptions,
 ) -> MinCongSolution {
     let mut oracle = CandidateOracle::new(candidates);
@@ -410,6 +440,7 @@ pub fn min_congestion_unrestricted(g: &Graph, d: &Demand, opts: &SolveOptions) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::candidates::CandidateSet;
     use ssor_graph::generators;
 
     fn opts() -> SolveOptions {
@@ -461,27 +492,21 @@ mod tests {
     #[test]
     fn restricted_single_candidate_is_forced() {
         let g = generators::ring(6);
-        let mut cands = BTreeMap::new();
-        let p = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
-        cands.insert((0u32, 3u32), vec![p]);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
         let d = Demand::from_pairs(&[(0, 3)]);
-        let sol = min_congestion_restricted(&g, &d, &cands, &opts());
+        let sol = min_congestion_restricted(&g, &d, cands.as_candidates(), &opts());
         assert!((sol.congestion - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn restricted_two_candidates_split() {
         let g = generators::ring(6);
-        let mut cands = BTreeMap::new();
-        cands.insert(
-            (0u32, 3u32),
-            vec![
-                Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap(),
-                Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap(),
-            ],
-        );
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        cands.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
         let d = Demand::from_pairs(&[(0, 3)]);
-        let sol = min_congestion_restricted(&g, &d, &cands, &opts());
+        let sol = min_congestion_restricted(&g, &d, cands.as_candidates(), &opts());
         assert!(
             (sol.congestion - 0.5).abs() < 0.02,
             "congestion = {}",
@@ -542,7 +567,9 @@ mod tests {
         // Total flow conservation: sum of edge loads equals sum over pairs
         // of demand * expected path length; just sanity-check positivity.
         let loads = sol.routing.edge_loads(&g, &d);
-        let total: f64 = loads.iter().sum();
-        assert!(total >= d.size() * 3.0 - 1e-6, "paths are >= 3 hops here");
+        assert!(
+            loads.total() >= d.size() * 3.0 - 1e-6,
+            "paths are >= 3 hops here"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! dilation (Section 4 of the paper).
 
 use crate::demand::Demand;
-use ssor_graph::{Graph, Path, VertexId};
+use ssor_graph::{EdgeLoads, Graph, Path, VertexId};
 use std::collections::BTreeMap;
 
 /// A path together with its probability mass within `R(s, t)`.
@@ -106,27 +106,57 @@ impl Routing {
         d.support().iter().all(|k| self.per_pair.contains_key(k))
     }
 
-    /// Per-edge load when routing `d` (`cong(R, d, e)` for every `e`).
+    /// Per-edge load when routing `d` (`cong(R, d, e)` for every `e`),
+    /// accumulated in the workspace's dense [`EdgeLoads`] representation.
+    ///
+    /// Demands with many pairs accumulate in parallel: the support is cut
+    /// into *fixed-size* blocks (so the partials — and with them every
+    /// floating-point rounding — are independent of the rayon thread
+    /// count) and the per-block partials reduce through
+    /// [`EdgeLoads::par_merge`].
     ///
     /// Pairs of `d` without a distribution contribute nothing; use
     /// [`Routing::covers`] to check coverage first.
-    pub fn edge_loads(&self, g: &Graph, d: &Demand) -> Vec<f64> {
-        let mut load = vec![0.0; g.m()];
-        for ((s, t), w) in d.iter() {
+    pub fn edge_loads(&self, g: &Graph, d: &Demand) -> EdgeLoads {
+        // Fixed block size: partials must not depend on the thread count,
+        // or congestion numbers would drift across machines.
+        const PAR_MIN_PAIRS: usize = 256;
+        const BLOCK: usize = 64;
+        let support = d.support();
+        if support.len() < PAR_MIN_PAIRS {
+            let mut load = EdgeLoads::for_graph(g);
+            self.accumulate_pairs(d, &support, &mut load);
+            return load;
+        }
+        use rayon::prelude::*;
+        let blocks: Vec<&[(VertexId, VertexId)]> = support.chunks(BLOCK).collect();
+        let partials: Vec<EdgeLoads> = blocks
+            .par_iter()
+            .map(|chunk| {
+                let mut load = EdgeLoads::for_graph(g);
+                self.accumulate_pairs(d, chunk, &mut load);
+                load
+            })
+            .collect();
+        EdgeLoads::par_merge(&partials)
+    }
+
+    /// Accumulates the load of `pairs` (a slice of `d`'s support) into
+    /// `load`.
+    fn accumulate_pairs(&self, d: &Demand, pairs: &[(VertexId, VertexId)], load: &mut EdgeLoads) {
+        for &(s, t) in pairs {
+            let w = d.get(s, t);
             if let Some(dist) = self.per_pair.get(&(s, t)) {
                 for wp in dist {
-                    for &e in wp.path.edges() {
-                        load[e as usize] += w * wp.weight;
-                    }
+                    load.add_edges(wp.path.edges(), w * wp.weight);
                 }
             }
         }
-        load
     }
 
     /// `cong(R, d) = max_e cong(R, d, e)` (0 for an empty demand).
     pub fn congestion(&self, g: &Graph, d: &Demand) -> f64 {
-        self.edge_loads(g, d).into_iter().fold(0.0, f64::max)
+        self.edge_loads(g, d).max()
     }
 
     /// `dil(R, d)`: maximum hop length over paths receiving positive weight
@@ -307,9 +337,9 @@ mod tests {
         let d = Demand::from_pairs(&[(0, 2)]);
         // Weights normalize to 0.25 / 0.75.
         let loads = r.edge_loads(&g, &d);
-        assert!((loads[0] - 0.25).abs() < 1e-12);
-        assert!((loads[1] - 0.25).abs() < 1e-12);
-        assert!((loads[2] - 0.75).abs() < 1e-12);
+        assert!((loads.get(0) - 0.25).abs() < 1e-12);
+        assert!((loads.get(1) - 0.25).abs() < 1e-12);
+        assert!((loads.get(2) - 0.75).abs() < 1e-12);
         assert!((r.congestion(&g, &d) - 0.75).abs() < 1e-12);
         assert_eq!(r.dilation(&d), 2);
         assert!(r.is_valid(&g));

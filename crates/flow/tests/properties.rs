@@ -137,10 +137,9 @@ proptest! {
         d.set(s, t, w);
         let loads = r.edge_loads(&g, &d);
         for &e in p.edges() {
-            prop_assert!((loads[e as usize] - w).abs() < 1e-12);
+            prop_assert!((loads.get(e) - w).abs() < 1e-12);
         }
-        let total: f64 = loads.iter().sum();
-        prop_assert!((total - w * p.hop() as f64).abs() < 1e-9);
+        prop_assert!((loads.total() - w * p.hop() as f64).abs() < 1e-9);
     }
 
     #[test]

@@ -128,6 +128,7 @@ impl Graph {
     }
 
     /// Incident arcs of vertex `v` (one per incident edge).
+    #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[Arc] {
         &self.adj[v as usize]
     }

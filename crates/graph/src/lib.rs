@@ -11,6 +11,12 @@
 //!   edges model integer capacities, following Section 4 of the paper);
 //! * [`Path`] — walks/simple paths carrying explicit edge ids, with
 //!   [`Path::shortcut`] to reduce walks to simple paths;
+//! * [`PathStore`] / [`PathId`] — the interning arena the whole stack
+//!   shares paths through (`Path` stays the owned boundary type);
+//! * [`EdgeLoads`] — dense per-edge load accumulation (the congestion
+//!   representation), with deterministic [`EdgeLoads::par_merge`];
+//! * [`Csr`] — flattened adjacency for repeated traversals, accepted by
+//!   the [`shortest_path`] tree builders via the [`Adjacency`] trait;
 //! * [`generators`] — hypercubes, grids, tori, expanders, Waxman WANs, the
 //!   two-cliques bridge example, and friends;
 //! * [`shortest_path`] — BFS and Dijkstra trees;
@@ -33,14 +39,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod csr;
 pub mod dsu;
 pub mod generators;
 mod graph;
 pub mod ksp;
+mod load;
 pub mod matching;
 pub mod maxflow;
 mod path;
 pub mod shortest_path;
+mod store;
 
+pub use csr::{Adjacency, Csr};
 pub use graph::{Arc, EdgeId, Graph, VertexId};
+pub use load::EdgeLoads;
 pub use path::Path;
+pub use store::{PathId, PathStore};

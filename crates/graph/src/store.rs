@@ -1,0 +1,318 @@
+//! A path arena: interns paths into copyable [`PathId`]s with hash-based
+//! deduplication.
+//!
+//! Every layer of the pipeline shares and compares paths constantly — the
+//! α-sampler collapses duplicate draws (Definition 5.2 samples *with
+//! replacement* into a *set*), the template distributions merge identical
+//! tree paths, and the Frank–Wolfe solver re-discovers the same best
+//! responses round after round. Storing each of those as an owned
+//! `Vec<VertexId>` + `Vec<EdgeId>` pair and comparing edge vectors is the
+//! dominant allocation pattern of the whole system. A [`PathStore`] holds
+//! each distinct path once in two flat arrays; a path becomes a 4-byte
+//! [`PathId`] that is `Copy`, `Eq`, and `O(1)` to compare. [`Path`] remains
+//! the boundary/debug type — materialize with [`PathStore::materialize`]
+//! when an owned path must leave the arena.
+//!
+//! The arena is append-only: ids stay valid for the lifetime of the store,
+//! and interning the same vertex/edge sequence always returns the same id.
+//! Two paths are considered identical when they have the same source vertex
+//! and edge-id sequence (which, on a fixed graph, determines the vertex
+//! sequence) — the same equivalence `PathSystem` has always deduplicated
+//! by.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use crate::path::Path;
+use std::collections::HashMap;
+
+/// Identifier of an interned path within one [`PathStore`] (dense,
+/// `0..store.len()`, in first-interning order).
+///
+/// Ids from different stores are unrelated; never mix them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The dense index of this id (`0..store.len()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    vstart: u32,
+    estart: u32,
+    hops: u32,
+}
+
+/// An arena interning paths into [`PathId`]s (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::{Graph, Path, PathStore};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let p = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+/// let mut store = PathStore::new();
+/// let id = store.intern(&p);
+/// assert_eq!(store.intern(&p), id, "re-interning dedups");
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.vertices(id), &[0, 1, 2]);
+/// assert_eq!(store.edges(id), &[0, 1]);
+/// assert_eq!(store.materialize(id), p);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PathStore {
+    verts: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+    spans: Vec<Span>,
+    /// Deterministic FNV-1a hash of `(source, edge sequence)` → candidate
+    /// ids (collisions resolved by slice comparison).
+    dedup: HashMap<u64, Vec<PathId>>,
+}
+
+/// FNV-1a over the source vertex and edge-id sequence. Deterministic
+/// across runs and platforms (unlike `RandomState`), so interning order —
+/// and with it every downstream id — is reproducible.
+fn fnv1a(source: VertexId, edges: &[EdgeId]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut step = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    step(source);
+    for &e in edges {
+        step(e);
+    }
+    h
+}
+
+impl PathStore {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PathStore::default()
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Interns `path`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, path: &Path) -> PathId {
+        self.intern_parts(path.vertices(), path.edges())
+    }
+
+    /// Interns a path given as raw vertex/edge slices.
+    ///
+    /// This is the zero-copy entry point for moving paths *between*
+    /// arenas (`store_a.intern_parts(store_b.vertices(id), store_b.edges(id))`)
+    /// without materializing an owned [`Path`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices.len() != edges.len() + 1`.
+    pub fn intern_parts(&mut self, vertices: &[VertexId], edges: &[EdgeId]) -> PathId {
+        assert_eq!(
+            vertices.len(),
+            edges.len() + 1,
+            "a path has one more vertex than edges"
+        );
+        let h = fnv1a(vertices[0], edges);
+        if let Some(cands) = self.dedup.get(&h) {
+            for &id in cands {
+                if self.edges(id) == edges && self.vertices(id)[0] == vertices[0] {
+                    return id;
+                }
+            }
+        }
+        let id = PathId(self.spans.len() as u32);
+        self.spans.push(Span {
+            vstart: self.verts.len() as u32,
+            estart: self.edges.len() as u32,
+            hops: edges.len() as u32,
+        });
+        self.verts.extend_from_slice(vertices);
+        self.edges.extend_from_slice(edges);
+        self.dedup.entry(h).or_default().push(id);
+        id
+    }
+
+    /// Looks up a path without interning it; `None` if it is not stored.
+    pub fn find(&self, vertices: &[VertexId], edges: &[EdgeId]) -> Option<PathId> {
+        let h = fnv1a(vertices[0], edges);
+        self.dedup
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&id| self.edges(id) == edges && self.vertices(id)[0] == vertices[0])
+    }
+
+    /// The vertex sequence of `id`.
+    pub fn vertices(&self, id: PathId) -> &[VertexId] {
+        let s = self.spans[id.index()];
+        &self.verts[s.vstart as usize..s.vstart as usize + s.hops as usize + 1]
+    }
+
+    /// The edge-id sequence of `id`.
+    pub fn edges(&self, id: PathId) -> &[EdgeId] {
+        let s = self.spans[id.index()];
+        &self.edges[s.estart as usize..s.estart as usize + s.hops as usize]
+    }
+
+    /// First vertex of `id`.
+    pub fn source(&self, id: PathId) -> VertexId {
+        self.verts[self.spans[id.index()].vstart as usize]
+    }
+
+    /// Last vertex of `id`.
+    pub fn target(&self, id: PathId) -> VertexId {
+        let s = self.spans[id.index()];
+        self.verts[s.vstart as usize + s.hops as usize]
+    }
+
+    /// Hop length of `id` (number of edges).
+    pub fn hop(&self, id: PathId) -> usize {
+        self.spans[id.index()].hops as usize
+    }
+
+    /// Whether `id` uses edge `e`.
+    pub fn contains_edge(&self, id: PathId, e: EdgeId) -> bool {
+        self.edges(id).contains(&e)
+    }
+
+    /// Total weight of `id` under per-edge weights `w` (indexed by edge
+    /// id) — the oracle-facing "path cost" primitive.
+    pub fn weight(&self, id: PathId, w: &[f64]) -> f64 {
+        self.edges(id).iter().map(|&e| w[e as usize]).sum()
+    }
+
+    /// Whether no vertex repeats along `id`.
+    pub fn is_simple(&self, id: PathId) -> bool {
+        let vs = self.vertices(id);
+        let mut seen = std::collections::HashSet::with_capacity(vs.len());
+        vs.iter().all(|v| seen.insert(*v))
+    }
+
+    /// Whether `id` is a valid walk in `g`: every edge exists and connects
+    /// the consecutive vertex pair (same contract as [`Path::is_valid`],
+    /// without materializing).
+    pub fn is_valid(&self, id: PathId, g: &Graph) -> bool {
+        let vs = self.vertices(id);
+        if vs.iter().any(|&v| (v as usize) >= g.n()) {
+            return false;
+        }
+        self.edges(id).iter().enumerate().all(|(i, &e)| {
+            if (e as usize) >= g.m() {
+                return false;
+            }
+            let (a, b) = g.endpoints(e);
+            let (u, v) = (vs[i], vs[i + 1]);
+            (a, b) == (u, v) || (a, b) == (v, u)
+        })
+    }
+
+    /// Materializes `id` as an owned [`Path`] (the boundary type).
+    pub fn materialize(&self, id: PathId) -> Path {
+        Path::raw(self.vertices(id).to_vec(), self.edges(id).to_vec())
+    }
+
+    /// Iterator over all interned ids, in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> + '_ {
+        (0..self.spans.len() as u32).map(PathId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn interning_roundtrips_and_dedups() {
+        let g = generators::ring(6);
+        let a = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
+        let b = Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap();
+        let mut store = PathStore::new();
+        let ia = store.intern(&a);
+        let ib = store.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(store.intern(&a), ia);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.materialize(ia), a);
+        assert_eq!(store.materialize(ib), b);
+        assert_eq!(store.source(ib), 0);
+        assert_eq!(store.target(ib), 3);
+        assert_eq!(store.hop(ia), 3);
+    }
+
+    #[test]
+    fn parallel_edges_distinguish_paths() {
+        let mut g = Graph::new(2);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(0, 1);
+        let p0 = Path::from_edges(&g, 0, &[e0]).unwrap();
+        let p1 = Path::from_edges(&g, 0, &[e1]).unwrap();
+        let mut store = PathStore::new();
+        assert_ne!(store.intern(&p0), store.intern(&p1));
+    }
+
+    #[test]
+    fn trivial_paths_keyed_by_source() {
+        let mut store = PathStore::new();
+        let a = store.intern(&Path::trivial(3));
+        let b = store.intern(&Path::trivial(4));
+        assert_ne!(a, b);
+        assert_eq!(store.hop(a), 0);
+        assert_eq!(store.vertices(a), &[3]);
+        assert!(store.edges(a).is_empty());
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let g = generators::ring(4);
+        let p = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let mut store = PathStore::new();
+        assert!(store.find(p.vertices(), p.edges()).is_none());
+        let id = store.intern(&p);
+        assert_eq!(store.find(p.vertices(), p.edges()), Some(id));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn validity_and_simplicity_match_path() {
+        let g = generators::ring(5);
+        let walk = Path::from_vertices(&g, &[0, 1, 2, 1]).unwrap();
+        let simple = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let mut store = PathStore::new();
+        let iw = store.intern(&walk);
+        let is = store.intern(&simple);
+        assert!(!store.is_simple(iw));
+        assert!(store.is_simple(is));
+        assert!(store.is_valid(iw, &g));
+        assert!(store.is_valid(is, &g));
+        // An edge id out of range is invalid.
+        let bogus = store.intern_parts(&[0, 1], &[99]);
+        assert!(!store.is_valid(bogus, &g));
+    }
+
+    #[test]
+    fn weight_sums_edge_weights() {
+        let g = generators::ring(6);
+        let p = Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap();
+        let mut store = PathStore::new();
+        let id = store.intern(&p);
+        let w: Vec<f64> = (0..g.m()).map(|e| e as f64).collect();
+        assert_eq!(store.weight(id, &w), 0.0 + 1.0 + 2.0);
+    }
+}

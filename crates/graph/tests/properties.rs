@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use ssor_graph::maxflow::min_cut_value;
 use ssor_graph::shortest_path::{bfs_path, bfs_tree, dijkstra_path, hop_distance};
-use ssor_graph::{generators, Graph, Path, VertexId};
+use ssor_graph::{generators, EdgeLoads, Graph, Path, PathStore, VertexId};
 
 /// Strategy: a connected random graph with `n` in 2..=12 via an
 /// Erdős–Rényi draw stitched to connectivity (deterministic from the seed).
@@ -14,6 +14,40 @@ fn connected_graph() -> impl Strategy<Value = Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
         generators::erdos_renyi(n, p, &mut rng)
     })
+}
+
+/// Strategy: a connected random *multigraph* — an Erdős–Rényi base with a
+/// random sprinkle of parallel copies of existing edges.
+fn connected_multigraph() -> impl Strategy<Value = Graph> {
+    (connected_graph(), 0usize..10, any::<u64>()).prop_map(|(base, extra, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = base.clone();
+        let m = base.m();
+        for _ in 0..extra {
+            let (u, v) = base.endpoints(rng.gen_range(0..m) as u32);
+            g.add_edge(u, v);
+        }
+        g
+    })
+}
+
+/// A random simple path in `g` (random walk, shortcut).
+fn random_simple_path(g: &Graph, rng: &mut rand::rngs::StdRng) -> Path {
+    use rand::Rng;
+    let start = rng.gen_range(0..g.n()) as VertexId;
+    let mut cur = start;
+    let mut verts = vec![start];
+    let mut edges = Vec::new();
+    for _ in 0..rng.gen_range(1..10) {
+        let nbrs = g.neighbors(cur);
+        let a = nbrs[rng.gen_range(0..nbrs.len())];
+        verts.push(a.to);
+        edges.push(a.edge);
+        cur = a.to;
+    }
+    Path::from_edges(g, start, &edges).unwrap().shortcut()
 }
 
 proptest! {
@@ -112,6 +146,86 @@ proptest! {
         }
         // First path is a shortest path.
         prop_assert_eq!(paths[0].hop(), hop_distance(&g, s, t));
+    }
+
+    #[test]
+    fn edge_loads_match_hashmap_accumulation_bitwise(
+        g in connected_multigraph(),
+        routes in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        // The dense EdgeLoads accumulator must agree *bit for bit* with
+        // the HashMap<EdgeId, f64> accumulators it replaced, for random
+        // fractional routings over a multigraph with parallel edges —
+        // same paths, same weights, same addition order per edge.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dense = EdgeLoads::for_graph(&g);
+        let mut sparse: HashMap<u32, f64> = HashMap::new();
+        for _ in 0..routes {
+            let p = random_simple_path(&g, &mut rng);
+            let w: f64 = rng.gen_range(0.001..2.0);
+            dense.add_edges(p.edges(), w);
+            for &e in p.edges() {
+                *sparse.entry(e).or_insert(0.0) += w;
+            }
+        }
+        for e in 0..g.m() as u32 {
+            let expected = sparse.get(&e).copied().unwrap_or(0.0);
+            prop_assert!(
+                dense.get(e) == expected,
+                "edge {}: dense {} != sparse {}", e, dense.get(e), expected
+            );
+        }
+        // And the congestion functional agrees with the fold over the map.
+        let max_sparse = sparse.values().fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!(dense.max() == max_sparse);
+    }
+
+    #[test]
+    fn path_store_interning_roundtrips_and_dedups(
+        g in connected_multigraph(),
+        count in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = PathStore::new();
+        let mut originals = Vec::new();
+        for _ in 0..count {
+            let p = random_simple_path(&g, &mut rng);
+            let id = store.intern(&p);
+            originals.push((p, id));
+        }
+        let mut distinct: Vec<Vec<u32>> = Vec::new();
+        for (p, id) in &originals {
+            // Round-trip: slices and the materialized boundary Path match.
+            prop_assert_eq!(store.vertices(*id), p.vertices());
+            prop_assert_eq!(store.edges(*id), p.edges());
+            prop_assert_eq!(&store.materialize(*id), p);
+            prop_assert_eq!(store.source(*id), p.source());
+            prop_assert_eq!(store.target(*id), p.target());
+            prop_assert_eq!(store.hop(*id), p.hop());
+            // Re-interning is stable and never grows the arena.
+            prop_assert_eq!(store.intern(p), *id);
+            let key: Vec<u32> = std::iter::once(p.source())
+                .chain(p.edges().iter().copied())
+                .collect();
+            if !distinct.contains(&key) {
+                distinct.push(key);
+            }
+        }
+        prop_assert_eq!(store.len(), distinct.len(), "one arena entry per distinct path");
+        // Identical (source, edges) pairs got identical ids.
+        for (pa, ia) in &originals {
+            for (pb, ib) in &originals {
+                let same = pa.source() == pb.source() && pa.edges() == pb.edges();
+                prop_assert_eq!(same, ia == ib);
+            }
+        }
     }
 
     #[test]

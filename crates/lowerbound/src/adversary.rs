@@ -41,13 +41,10 @@ pub struct AdversaryResult {
     pub congestion_lower_bound: f64,
 }
 
-/// Middle vertices crossed by a path, in path order.
-fn middles_on_path(path: &Path, middle: &HashSet<VertexId>) -> Vec<VertexId> {
-    path.vertices()
-        .iter()
-        .copied()
-        .filter(|v| middle.contains(v))
-        .collect()
+/// First middle vertex crossed by a path (given as its vertex sequence),
+/// in path order.
+fn first_middle(vertices: &[VertexId], middle: &HashSet<VertexId>) -> Option<VertexId> {
+    vertices.iter().copied().find(|v| middle.contains(v))
 }
 
 /// The canonical hitting set `f(s, t)`: first middle vertex of each
@@ -55,16 +52,19 @@ fn middles_on_path(path: &Path, middle: &HashSet<VertexId>) -> Vec<VertexId> {
 /// to exactly `alpha` elements, sorted. Returns `None` if more than
 /// `alpha` middles are needed (the system is not `α`-sparse for the pair).
 fn hitting_set(
-    paths: Option<&[Path]>,
+    paths: &PathSystem,
+    s: VertexId,
+    t: VertexId,
     middle_set: &HashSet<VertexId>,
     middle_sorted: &[VertexId],
     alpha: usize,
 ) -> Option<Vec<VertexId>> {
     let mut set: Vec<VertexId> = Vec::new();
-    if let Some(paths) = paths {
-        for p in paths {
-            let on = middles_on_path(p, middle_set);
-            let first = *on.first()?; // a cross path must touch the middle
+    if let Some(ids) = paths.path_ids(s, t) {
+        let store = paths.store();
+        for &id in ids {
+            // Zero-copy: read the vertex sequence straight from the arena.
+            let first = first_middle(store.vertices(id), middle_set)?;
             if !set.contains(&first) {
                 set.push(first);
             }
@@ -120,7 +120,7 @@ pub fn find_adversarial_demand(
     for &s in &meta.left_leaves {
         let mut counter: HashMap<Vec<VertexId>, Vec<VertexId>> = HashMap::new();
         for &t in &meta.right_leaves {
-            if let Some(set) = hitting_set(paths.paths(s, t), &middle_set, &middle_sorted, alpha) {
+            if let Some(set) = hitting_set(paths, s, t, &middle_set, &middle_sorted, alpha) {
                 counter.entry(set).or_default().push(t);
             }
         }
@@ -213,12 +213,13 @@ pub fn optimal_witness(g: &Graph, meta: &CGraphMeta, demand: &Demand) -> Integra
 pub fn certify_hitting(paths: &PathSystem, result: &AdversaryResult) -> Result<(), String> {
     let set: HashSet<VertexId> = result.hitting_set.iter().copied().collect();
     for ((s, t), _) in result.demand.iter() {
-        if let Some(cands) = paths.paths(s, t) {
-            for p in cands {
-                if !p.vertices().iter().any(|v| set.contains(v)) {
+        if let Some(ids) = paths.path_ids(s, t) {
+            let store = paths.store();
+            for &id in ids {
+                if !store.vertices(id).iter().any(|v| set.contains(v)) {
                     return Err(format!(
                         "path {:?} for pair ({s}, {t}) avoids the hitting set",
-                        p
+                        store.materialize(id)
                     ));
                 }
             }
@@ -285,7 +286,8 @@ mod tests {
         if res.demand.is_empty() {
             return; // degenerate tiny instance
         }
-        let sol = min_congestion_restricted(&g, &res.demand, ps.as_map(), &SolveOptions::default());
+        let sol =
+            min_congestion_restricted(&g, &res.demand, ps.candidates(), &SolveOptions::default());
         assert!(
             sol.congestion + 1e-6 >= res.congestion_lower_bound,
             "LP congestion {} below certified bound {}",
@@ -309,7 +311,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let hs = hitting_set(Some(&[p]), &middle_set, &meta.middle, 2).unwrap();
+        let mut ps = PathSystem::new();
+        let (s, t) = (p.source(), p.target());
+        ps.insert(p);
+        let hs = hitting_set(&ps, s, t, &middle_set, &meta.middle, 2).unwrap();
         assert_eq!(hs.len(), 2);
         assert!(hs.contains(&meta.middle[1]));
     }

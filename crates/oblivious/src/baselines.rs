@@ -5,7 +5,7 @@
 use crate::traits::ObliviousRouting;
 use rand::{Rng, RngCore};
 use ssor_graph::ksp::k_shortest_paths;
-use ssor_graph::shortest_path::{bfs_tree, SpTree};
+use ssor_graph::shortest_path::{bfs_tree_csr, SpTree};
 use ssor_graph::{EdgeId, Graph, Path, VertexId};
 
 /// Deterministic single shortest path per pair (BFS, lowest-edge-id
@@ -24,9 +24,10 @@ impl ShortestPathRouting {
     /// Panics if `g` is disconnected.
     pub fn new(g: &Graph) -> Self {
         assert!(g.is_connected());
+        let csr = g.csr();
         ShortestPathRouting {
             graph: g.clone(),
-            trees: g.vertices().map(|s| bfs_tree(g, s)).collect(),
+            trees: g.vertices().map(|s| bfs_tree_csr(&csr, s)).collect(),
         }
     }
 }
@@ -128,9 +129,10 @@ impl EcmpRouting {
     /// Panics if `g` is disconnected.
     pub fn new(g: &Graph) -> Self {
         assert!(g.is_connected());
+        let csr = g.csr();
         EcmpRouting {
             graph: g.clone(),
-            trees: g.vertices().map(|s| bfs_tree(g, s)).collect(),
+            trees: g.vertices().map(|s| bfs_tree_csr(&csr, s)).collect(),
         }
     }
 

@@ -9,7 +9,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use ssor_graph::shortest_path::{dijkstra_tree, SpTree};
+use ssor_graph::shortest_path::{dijkstra_tree_csr, SpTree};
 use ssor_graph::{EdgeId, Graph, Path, VertexId};
 use std::sync::Arc;
 
@@ -22,9 +22,14 @@ pub struct Metric {
 }
 
 impl Metric {
-    /// Builds the metric with one Dijkstra per vertex.
+    /// Builds the metric with one Dijkstra per vertex, over a CSR
+    /// adjacency flattened once and shared by all `n` runs.
     pub fn build(g: &Graph, len: &dyn Fn(EdgeId) -> f64) -> Self {
-        let trees = g.vertices().map(|s| dijkstra_tree(g, s, len)).collect();
+        let csr = g.csr();
+        let trees = g
+            .vertices()
+            .map(|s| dijkstra_tree_csr(&csr, s, len))
+            .collect();
         Metric { trees }
     }
 

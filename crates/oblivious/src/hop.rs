@@ -19,12 +19,11 @@
 //! matches Theorem 7.1, which is all the Section 7 construction in
 //! `ssor-core` uses.
 
-use crate::traits::ObliviousRouting;
+use crate::traits::{DistributionBuilder, ObliviousRouting};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
-use ssor_graph::shortest_path::{bfs_tree, SpTree};
+use ssor_graph::shortest_path::{bfs_tree_csr, SpTree};
 use ssor_graph::{Graph, Path, VertexId};
-use std::collections::HashMap;
 
 /// Options for [`HopConstrainedRouting::build`].
 #[derive(Debug, Clone)]
@@ -70,9 +69,10 @@ impl HopConstrainedRouting {
         assert!(g.is_connected());
         let mut all: Vec<VertexId> = g.vertices().collect();
         all.shuffle(rng);
+        let csr = g.csr();
         let landmarks: Vec<VertexId> = all.into_iter().take(opts.landmarks).collect();
-        let landmark_trees = landmarks.iter().map(|&w| bfs_tree(g, w)).collect();
-        let source_trees = g.vertices().map(|s| bfs_tree(g, s)).collect();
+        let landmark_trees = landmarks.iter().map(|&w| bfs_tree_csr(&csr, w)).collect();
+        let source_trees = g.vertices().map(|s| bfs_tree_csr(&csr, s)).collect();
         HopConstrainedRouting {
             graph: g.clone(),
             h,
@@ -151,14 +151,11 @@ impl ObliviousRouting for HopConstrainedRouting {
             return vec![(self.fallback(s, t), 1.0)];
         }
         let w = 1.0 / feasible.len() as f64;
-        let mut acc: HashMap<Vec<u32>, (Path, f64)> = HashMap::new();
+        let mut acc = DistributionBuilder::new();
         for i in feasible {
-            let p = self.path_via(s, t, i);
-            acc.entry(p.edges().to_vec()).or_insert_with(|| (p, 0.0)).1 += w;
+            acc.add(&self.path_via(s, t, i), w);
         }
-        let mut out: Vec<(Path, f64)> = acc.into_values().collect();
-        out.sort_by(|a, b| a.0.edges().cmp(b.0.edges()));
-        out
+        acc.finish()
     }
 }
 

@@ -50,5 +50,5 @@ pub use electrical::ElectricalRouting;
 pub use frt::{FrtTree, Metric, TreeRouting};
 pub use hop::{HopConstrainedRouting, HopOptions};
 pub use raecke::{RaeckeOptions, RaeckeRouting};
-pub use traits::{validate_oblivious_routing, ObliviousRouting};
+pub use traits::{validate_oblivious_routing, DistributionBuilder, ObliviousRouting};
 pub use valiant::{BitFixingRouting, ValiantRouting};

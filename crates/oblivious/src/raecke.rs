@@ -11,10 +11,9 @@
 //! production traffic engineering.
 
 use crate::frt::{FrtTree, Metric, TreeRouting};
-use crate::traits::ObliviousRouting;
+use crate::traits::{DistributionBuilder, ObliviousRouting};
 use rand::{Rng, RngCore};
-use ssor_graph::{Graph, Path, VertexId};
-use std::collections::HashMap;
+use ssor_graph::{EdgeLoads, Graph, Path, VertexId};
 use std::sync::Arc;
 
 /// Options for [`RaeckeRouting::build`].
@@ -90,20 +89,18 @@ impl RaeckeRouting {
             // Canonical demand: one unit between the endpoints of every
             // edge (so parallel edges contribute multiplicity). Relative
             // load of edge f = number of canonical units crossing f.
-            let mut load = vec![0.0f64; m];
+            let mut load = EdgeLoads::zeros(m);
             for (_, (u, v)) in g.edges() {
                 let p = tr.path(g, u, v);
-                for &f in p.edges() {
-                    load[f as usize] += 1.0;
-                }
+                load.add_edges(p.edges(), 1.0);
             }
-            let rho = load.iter().cloned().fold(1.0, f64::max);
+            let rho = load.max().max(1.0);
             relative_loads.push(rho);
 
             // Multiplicative penalty, then renormalize to keep lengths
             // bounded.
-            for e in 0..m {
-                lengths[e] *= (opts.epsilon * load[e] / rho).exp();
+            for (l, ld) in lengths.iter_mut().zip(load.iter()) {
+                *l *= (opts.epsilon * ld / rho).exp();
             }
             let min_len = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
             for l in lengths.iter_mut() {
@@ -151,14 +148,11 @@ impl ObliviousRouting for RaeckeRouting {
 
     fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
         assert_ne!(s, t);
-        let mut acc: HashMap<Vec<u32>, (Path, f64)> = HashMap::new();
+        let mut acc = DistributionBuilder::new();
         for (tr, &w) in self.trees.iter().zip(self.weights.iter()) {
-            let p = tr.path(&self.graph, s, t);
-            acc.entry(p.edges().to_vec()).or_insert_with(|| (p, 0.0)).1 += w;
+            acc.add(&tr.path(&self.graph, s, t), w);
         }
-        let mut out: Vec<(Path, f64)> = acc.into_values().collect();
-        out.sort_by(|a, b| a.0.edges().cmp(b.0.edges()));
-        out
+        acc.finish()
     }
 }
 

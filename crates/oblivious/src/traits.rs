@@ -9,8 +9,7 @@
 
 use rand::RngCore;
 use ssor_flow::{Demand, Routing};
-use ssor_graph::{EdgeId, Graph, Path, VertexId};
-use std::collections::HashMap;
+use ssor_graph::{EdgeId, EdgeLoads, Graph, Path, PathStore, VertexId};
 
 /// An oblivious routing over a fixed graph.
 ///
@@ -35,20 +34,28 @@ pub trait ObliviousRouting {
 
     /// Marginal edge probabilities `P[e in R(s, t)]`, sparse.
     ///
-    /// The default derives them from [`path_distribution`]; routings with
-    /// huge supports (e.g. ECMP) can override with closed-form marginals.
-    ///
-    /// [`path_distribution`]: Self::path_distribution
+    /// The default sort-merges the distribution's `(edge, weight)` pairs
+    /// — `O(k log k)` in the support's total edge count `k`, with no
+    /// hashing and no `O(m)` dense pass per pair — and returns them in
+    /// edge-id order; routings with huge supports (e.g. ECMP) can
+    /// override with closed-form marginals.
     fn edge_marginals(&self, s: VertexId, t: VertexId) -> Vec<(EdgeId, f64)> {
-        let mut acc: HashMap<EdgeId, f64> = HashMap::new();
+        let mut acc: Vec<(EdgeId, f64)> = Vec::new();
         for (p, w) in self.path_distribution(s, t) {
-            for &e in p.edges() {
-                *acc.entry(e).or_insert(0.0) += w;
+            acc.extend(p.edges().iter().map(|&e| (e, w)));
+        }
+        // Stable sort: entries sharing an edge keep path_distribution
+        // order, so the per-edge f64 summation order (and with it the
+        // last bit of every marginal) is pinned across toolchains.
+        acc.sort_by_key(|&(e, _)| e);
+        let mut out: Vec<(EdgeId, f64)> = Vec::new();
+        for (e, w) in acc {
+            match out.last_mut() {
+                Some(last) if last.0 == e => last.1 += w,
+                _ => out.push((e, w)),
             }
         }
-        let mut v: Vec<(EdgeId, f64)> = acc.into_iter().collect();
-        v.sort_unstable_by_key(|&(e, _)| e);
-        v
+        out
     }
 
     /// Materializes `R` on the support of `d` as a [`Routing`].
@@ -62,13 +69,13 @@ pub trait ObliviousRouting {
 
     /// Exact `cong(R, d)` (Section 4), computed from edge marginals.
     fn congestion(&self, d: &Demand) -> f64 {
-        let mut load = vec![0.0f64; self.graph().m()];
+        let mut load = EdgeLoads::for_graph(self.graph());
         for ((s, t), w) in d.iter() {
             for (e, p) in self.edge_marginals(s, t) {
-                load[e as usize] += w * p;
+                load.add(e, w * p);
             }
         }
-        load.into_iter().fold(0.0, f64::max)
+        load.max()
     }
 
     /// `dil(R, d)`: maximum hop length in the supports used by `d`.
@@ -82,6 +89,74 @@ pub trait ObliviousRouting {
             }
         }
         best
+    }
+}
+
+/// Accumulates weighted path draws into an exact, deduplicated
+/// distribution — the one flow-accumulation loop shared by every template
+/// whose `R(s, t)` is "enumerate deterministic sub-routings and merge
+/// identical paths" (Räcke tree mixtures, Valiant intermediates,
+/// hop-constrained landmarks).
+///
+/// Identical paths are collapsed through a [`PathStore`] arena: each
+/// `add` interns once (hash + id compare) and accumulates into a dense
+/// per-id weight table, replacing the former per-template
+/// `HashMap<Vec<u32>, (Path, f64)>` accumulators. [`finish`] materializes
+/// the merged support sorted by edge sequence, the canonical order
+/// `path_distribution` implementations promise.
+///
+/// [`finish`]: DistributionBuilder::finish
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::{Graph, Path};
+/// use ssor_oblivious::DistributionBuilder;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// let direct = Path::from_vertices(&g, &[0, 2]).unwrap();
+/// let detour = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+/// let mut acc = DistributionBuilder::new();
+/// acc.add(&direct, 0.25);
+/// acc.add(&detour, 0.5);
+/// acc.add(&direct, 0.25); // merges with the first draw
+/// let dist = acc.finish();
+/// assert_eq!(dist.len(), 2);
+/// assert_eq!(dist.iter().map(|(_, w)| w).sum::<f64>(), 1.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct DistributionBuilder {
+    store: PathStore,
+    weights: Vec<f64>,
+}
+
+impl DistributionBuilder {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        DistributionBuilder::default()
+    }
+
+    /// Adds one draw of `path` with probability mass `w` (merging with
+    /// any previous draws of the same path).
+    pub fn add(&mut self, path: &Path, w: f64) {
+        let id = self.store.intern(path);
+        if id.index() == self.weights.len() {
+            self.weights.push(w);
+        } else {
+            self.weights[id.index()] += w;
+        }
+    }
+
+    /// The merged `(path, probability)` support, sorted by edge sequence.
+    pub fn finish(self) -> Vec<(Path, f64)> {
+        let mut out: Vec<(Path, f64)> = self
+            .store
+            .ids()
+            .zip(self.weights)
+            .map(|(id, w)| (self.store.materialize(id), w))
+            .collect();
+        out.sort_by(|a, b| a.0.edges().cmp(b.0.edges()));
+        out
     }
 }
 

@@ -10,11 +10,10 @@
 //! bit-reversal or transpose permutations its congestion is `Θ(sqrt(n))`
 //! `[KKT91]`, which experiment E4 regenerates.
 
-use crate::traits::ObliviousRouting;
+use crate::traits::{DistributionBuilder, ObliviousRouting};
 use rand::{Rng, RngCore};
 
 use ssor_graph::{generators, Graph, Path, VertexId};
-use std::collections::HashMap;
 
 /// Greedy bit-fixing vertex sequence from `s` to `t` (ascending bit order).
 fn bit_fix_vertices(s: VertexId, t: VertexId, dim: u32) -> Vec<VertexId> {
@@ -91,16 +90,12 @@ impl ObliviousRouting for ValiantRouting {
     fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
         assert_ne!(s, t);
         let n = 1u32 << self.dim;
-        let mut acc: HashMap<Vec<u32>, (Path, f64)> = HashMap::new();
+        let mut acc = DistributionBuilder::new();
         let w_prob = 1.0 / n as f64;
         for w in 0..n {
-            let p = self.path_via(s, t, w);
-            let key = p.edges().to_vec();
-            acc.entry(key).or_insert_with(|| (p, 0.0)).1 += w_prob;
+            acc.add(&self.path_via(s, t, w), w_prob);
         }
-        let mut out: Vec<(Path, f64)> = acc.into_values().collect();
-        out.sort_by(|a, b| a.0.edges().cmp(b.0.edges()));
-        out
+        acc.finish()
     }
 }
 
@@ -152,6 +147,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ssor_flow::Demand;
+    use std::collections::HashMap;
 
     #[test]
     fn bit_fixing_path_is_shortest() {

@@ -39,7 +39,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use ssor_graph::{Graph, Path};
+use ssor_graph::{Graph, Path, PathId, PathStore};
 
 /// Contention-resolution policy used when several packets want the same
 /// edge in the same round.
@@ -100,21 +100,31 @@ impl SimOutcome {
     }
 }
 
-/// Runs the synchronous simulation until every packet reaches its target.
+/// Runs the synchronous simulation on packets given as interned path ids
+/// (a *multiset*: the same id may appear many times, one packet each).
 ///
-/// Packets with zero-hop paths arrive at round 0. The run is guaranteed to
-/// terminate: in any round with unfinished packets, at least one packet
-/// advances (the winner of the contended edge closest to... in fact every
-/// contended edge advances exactly one packet per round).
+/// This is the hot-loop entry point: each round reads packet hops
+/// straight out of the [`PathStore`]'s flat arrays, and the per-round
+/// claim table is one reused allocation. [`simulate`] and
+/// [`simulate_routing`] are boundary wrappers over this.
 ///
 /// # Panics
 ///
 /// Panics if some path is invalid for `g`.
-pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
-    for p in paths {
-        assert!(p.is_valid(g), "invalid path {p:?}");
+pub fn simulate_ids(
+    g: &Graph,
+    store: &PathStore,
+    packets: &[PathId],
+    config: &SimConfig,
+) -> SimOutcome {
+    for &id in packets {
+        assert!(
+            store.is_valid(id, g),
+            "invalid path {:?}",
+            store.materialize(id)
+        );
     }
-    let np = paths.len();
+    let np = packets.len();
     // Static priorities; smaller = served first.
     let mut rank: Vec<usize> = (0..np).collect();
     if config.scheduler == Scheduler::RandomRank {
@@ -125,9 +135,9 @@ pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
     // Static stats.
     let mut edge_use = vec![0usize; g.m()];
     let mut dilation = 0usize;
-    for p in paths {
-        dilation = dilation.max(p.hop());
-        for &e in p.edges() {
+    for &id in packets {
+        dilation = dilation.max(store.hop(id));
+        for &e in store.edges(id) {
             edge_use[e as usize] += 1;
         }
     }
@@ -136,29 +146,30 @@ pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
     // Dynamic state: next hop index per packet.
     let mut pos = vec![0usize; np];
     let mut arrival = vec![0usize; np];
-    let mut remaining: Vec<usize> = (0..np).filter(|&i| paths[i].hop() > 0).collect();
+    let mut remaining: Vec<usize> = (0..np).filter(|&i| store.hop(packets[i]) > 0).collect();
     let mut round = 0usize;
     // Safety cap: C*D + D is a hard upper bound for greedy schedules here.
     let cap = congestion * dilation + dilation + 1;
 
+    // Claims: edge -> best (priority, packet); reused across rounds.
+    let mut claim: Vec<Option<usize>> = vec![None; g.m()];
     while !remaining.is_empty() {
         round += 1;
         assert!(
             round <= cap.max(1),
             "scheduler exceeded the C*D + D bound; this is a bug"
         );
-        // Claims: edge -> best (priority, packet).
-        let mut claim: Vec<Option<usize>> = vec![None; g.m()];
+        claim.fill(None);
         for &i in &remaining {
-            let e = paths[i].edges()[pos[i]] as usize;
+            let e = store.edges(packets[i])[pos[i]] as usize;
             let better = match claim[e] {
                 None => true,
                 Some(j) => match config.scheduler {
                     Scheduler::Fifo => i < j,
                     Scheduler::RandomRank => rank[i] < rank[j],
                     Scheduler::FarthestToGo => {
-                        let ri = paths[i].hop() - pos[i];
-                        let rj = paths[j].hop() - pos[j];
+                        let ri = store.hop(packets[i]) - pos[i];
+                        let rj = store.hop(packets[j]) - pos[j];
                         ri > rj || (ri == rj && i < j)
                     }
                 },
@@ -169,11 +180,11 @@ pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
         }
         // Advance winners.
         let mut still = Vec::with_capacity(remaining.len());
-        let winners: std::collections::HashSet<usize> = claim.into_iter().flatten().collect();
+        let winners: std::collections::HashSet<usize> = claim.iter().copied().flatten().collect();
         for &i in &remaining {
             if winners.contains(&i) {
                 pos[i] += 1;
-                if pos[i] == paths[i].hop() {
+                if pos[i] == store.hop(packets[i]) {
                     arrival[i] = round;
                     continue;
                 }
@@ -191,19 +202,40 @@ pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
     }
 }
 
-/// Convenience: simulate an [`ssor_flow::IntegralRouting`]'s paths.
+/// Runs the synchronous simulation until every packet reaches its target.
+///
+/// Packets with zero-hop paths arrive at round 0. The run is guaranteed to
+/// terminate: in any round with unfinished packets, at least one packet
+/// advances (every contended edge advances exactly one packet per round).
+///
+/// Boundary wrapper: interns `paths` into a fresh [`PathStore`]
+/// (duplicate paths share storage but remain distinct packets) and runs
+/// [`simulate_ids`].
+///
+/// # Panics
+///
+/// Panics if some path is invalid for `g`.
+pub fn simulate(g: &Graph, paths: &[Path], config: &SimConfig) -> SimOutcome {
+    let mut store = PathStore::new();
+    let packets: Vec<PathId> = paths.iter().map(|p| store.intern(p)).collect();
+    simulate_ids(g, &store, &packets, config)
+}
+
+/// Convenience: simulate an [`ssor_flow::IntegralRouting`]'s paths
+/// (multiplicities preserved).
 pub fn simulate_routing(
     g: &Graph,
     routing: &ssor_flow::IntegralRouting,
     config: &SimConfig,
 ) -> SimOutcome {
-    let mut paths: Vec<Path> = Vec::new();
+    let mut store = PathStore::new();
+    let mut packets: Vec<PathId> = Vec::new();
     for (s, t) in routing.pairs() {
         if let Some(ps) = routing.paths(s, t) {
-            paths.extend(ps.iter().cloned());
+            packets.extend(ps.iter().map(|p| store.intern(p)));
         }
     }
-    simulate(g, &paths, config)
+    simulate_ids(g, &store, &packets, config)
 }
 
 #[cfg(test)]

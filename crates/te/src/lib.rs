@@ -185,7 +185,7 @@ pub fn evaluate_snapshots(
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            let semi = min_congestion_restricted(&wan.graph, d, paths.as_map(), opts);
+            let semi = min_congestion_restricted(&wan.graph, d, paths.candidates(), opts);
             let opt = min_congestion_unrestricted(&wan.graph, d, opts);
             let lb = opt.lower_bound.max(f64::MIN_POSITIVE);
             SnapshotReport {
@@ -234,19 +234,19 @@ pub fn evaluate_with_stale_rates(
     for t in 1..snapshots.len() {
         let prev = &snapshots[t - 1];
         let cur = &snapshots[t];
-        let stale = min_congestion_restricted(&wan.graph, prev, paths.as_map(), opts);
+        let stale = min_congestion_restricted(&wan.graph, prev, paths.candidates(), opts);
         // Apply the stale per-pair distributions to the current demand.
         let mut applied = stale.routing.clone();
         for (s, tt) in cur.support() {
             if applied.distribution(s, tt).is_none() {
                 let cand = paths
-                    .paths(s, tt)
+                    .first_path(s, tt)
                     .unwrap_or_else(|| panic!("no candidates for ({s}, {tt})"));
-                applied.set_distribution(s, tt, vec![(cand[0].clone(), 1.0)]);
+                applied.set_distribution(s, tt, vec![(cand, 1.0)]);
             }
         }
         let stale_congestion = applied.congestion(&wan.graph, cur);
-        let fresh = min_congestion_restricted(&wan.graph, cur, paths.as_map(), opts);
+        let fresh = min_congestion_restricted(&wan.graph, cur, paths.candidates(), opts);
         out.push(StaleReport {
             snapshot: t,
             stale_congestion,
@@ -293,7 +293,7 @@ pub fn fail_link(
     for &e in dead {
         survivors.remove_paths_through(e);
     }
-    let covered = d.filtered(|s, t, _| survivors.paths(s, t).is_some());
+    let covered = d.filtered(|s, t, _| survivors.covers_pair(s, t));
     let coverage = if d.support_len() == 0 {
         1.0
     } else {
@@ -319,7 +319,10 @@ pub fn fail_link(
     let congestion = if covered.is_empty() {
         None
     } else {
-        Some(min_congestion_restricted(&wan.graph, &covered, survivors.as_map(), opts).congestion)
+        Some(
+            min_congestion_restricted(&wan.graph, &covered, survivors.candidates(), opts)
+                .congestion,
+        )
     };
 
     FailureReport {

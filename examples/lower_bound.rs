@@ -51,7 +51,7 @@ fn main() {
     let sol = min_congestion_restricted(
         &g,
         &adv.demand,
-        paths.as_map(),
+        paths.candidates(),
         &SolveOptions::with_eps(0.02),
     );
     let opt = optimal_witness(&g, &meta, &adv.demand);

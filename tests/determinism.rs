@@ -1,0 +1,87 @@
+//! Thread-count invariance of the engine pipeline.
+//!
+//! The parallel stages — `par_alpha_sample`'s chunked sampling and the
+//! fixed-block `EdgeLoads::par_merge` load reduction — promise results
+//! that are a deterministic function of the pipeline spec alone,
+//! *identical at any rayon worker count*. This test pins that guarantee:
+//! the same scenarios run at 1, 2, and 8 threads (via the
+//! `RAYON_NUM_THREADS` override the vendored rayon shim honors, same as
+//! real rayon) must produce bit-identical congestion numbers and
+//! logically identical sampled path systems.
+//!
+//! CI runs the whole suite a second time under `RAYON_NUM_THREADS=2`
+//! (see `.github/workflows/ci.yml`), so the guarantee is exercised both
+//! ways: this test sweeps thread counts in-process, and the CI variant
+//! re-runs every other test off the single-thread default.
+
+use ssor::core::PathSystem;
+use ssor::engine::{PathSystemCache, Pipeline, ScenarioSpec};
+use ssor::flow::SolveOptions;
+
+/// One full pipeline execution at a pinned thread count: sampled path
+/// system plus the per-demand records, reduced to comparable bits.
+fn run_at(threads: usize, pipeline: &Pipeline) -> (PathSystem, Vec<(String, u64, usize)>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    // Guard against a pool that ignores mid-process overrides (real
+    // rayon pins its global pool on first use): if this stops holding,
+    // the sweep below would compare three identical runs and the test
+    // would pass vacuously.
+    assert_eq!(
+        rayon::current_num_threads(),
+        threads,
+        "worker-count override not honored; thread sweep would be vacuous"
+    );
+    let cache = PathSystemCache::new();
+    let prepared = pipeline.prepare(&cache);
+    let paths = prepared.paths().clone();
+    let report = pipeline.run(&cache);
+    let records = report
+        .records
+        .iter()
+        .map(|r| (r.name.clone(), r.congestion.to_bits(), r.dilation))
+        .collect();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    (paths, records)
+}
+
+fn assert_invariant(pipeline: &Pipeline, label: &str) {
+    let (paths1, recs1) = run_at(1, pipeline);
+    for threads in [2usize, 8] {
+        let (paths_n, recs_n) = run_at(threads, pipeline);
+        assert_eq!(
+            paths1, paths_n,
+            "{label}: sampled path system differs at {threads} threads"
+        );
+        assert_eq!(
+            recs1, recs_n,
+            "{label}: congestion/dilation records differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn engine_results_are_thread_count_invariant() {
+    // Hypercube adversary: exercises par_alpha_sample over all 240
+    // ordered pairs of Q4 plus the restricted + unrestricted solves.
+    let hypercube = ScenarioSpec::HypercubeAdversarial { dim: 4 }
+        .pipeline()
+        .alpha(3)
+        .seed(11)
+        .solve_options(SolveOptions::with_eps(0.1));
+    assert_invariant(&hypercube, "hypercube-adversary");
+
+    // Gravity WAN: a dense fractional demand whose support (n(n-1) pairs
+    // for n = 20) crosses Routing::edge_loads' parallel-accumulation
+    // threshold, so the fixed-block par_merge path actually runs.
+    let gravity = ScenarioSpec::GravityWan {
+        n: 20,
+        total: 25.0.into(),
+        seed: 7,
+    }
+    .pipeline()
+    .alpha(2)
+    .seed(5)
+    .solve_options(SolveOptions::with_eps(0.15))
+    .without_opt();
+    assert_invariant(&gravity, "gravity-wan");
+}

@@ -97,8 +97,8 @@ proptest! {
         let extra = sample::alpha_sample(&valiant, &d.support(), 4, &mut rng);
         let big: PathSystem = small.union(&extra);
         let opts = SolveOptions { eps: 0.03, max_iters: 2500 };
-        let c_small = min_congestion_restricted(valiant.graph(), &d, small.as_map(), &opts);
-        let c_big = min_congestion_restricted(valiant.graph(), &d, big.as_map(), &opts);
+        let c_small = min_congestion_restricted(valiant.graph(), &d, small.candidates(), &opts);
+        let c_big = min_congestion_restricted(valiant.graph(), &d, big.candidates(), &opts);
         // Allow the solver's certified gap on both sides.
         prop_assert!(
             c_big.congestion <= c_small.congestion * 1.08 + 1e-6,

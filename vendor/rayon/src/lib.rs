@@ -22,9 +22,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads a parallel call may use (the machine's
-/// available parallelism).
+/// Number of worker threads a parallel call may use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer (matching real rayon's global-pool override, and what the CI
+/// determinism job pins), otherwise the machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
