@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use ssor_core::sample::{all_pairs, alpha_sample};
 use ssor_core::weak::{sample_multiset, weak_route};
 use ssor_engine::sampling::par_alpha_sample;
-use ssor_engine::{DemandSpec, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
+use ssor_engine::{DemandSpec, PathSystemCache, Pipeline, StreamModel, TemplateSpec, TopologySpec};
 use ssor_flow::mincong::{min_congestion_restricted, min_congestion_unrestricted, SolveOptions};
 use ssor_flow::rounding::round_routing;
 use ssor_flow::Demand;
@@ -154,6 +154,48 @@ fn bench_engine() {
     });
 }
 
+fn bench_stream() {
+    // A 20-step diurnal gravity stream over a Waxman WAN, solved twice:
+    // warm-started incremental re-solves (each step restarts from the
+    // previous flow) vs the cold-solve baseline (every step from
+    // scratch). Both share one prepared path system via the cache, so
+    // the timings isolate the solver work the warm start saves. The
+    // per-step cold quality oracle is disabled (`without_opt`) to keep
+    // the comparison apples-to-apples.
+    let pipeline = Pipeline::on(TopologySpec::Waxman {
+        n: 24,
+        a: 0.4.into(),
+        b: 0.25.into(),
+        seed: 5,
+    })
+    .alpha(4)
+    .seed(5)
+    .solve_options(SolveOptions::with_eps(0.1))
+    .without_opt();
+    let model = StreamModel::DiurnalGravity {
+        total: 30.0.into(),
+        period: 8,
+        seed: 9,
+    };
+    let cache = PathSystemCache::new();
+    pipeline.prepare(&cache); // sampling outside the timed region
+    bench("stream", "warm_20step_diurnal_wan24_alpha4", 5, || {
+        pipeline.stream(&cache, 20, &model)
+    });
+    bench("stream", "cold_20step_diurnal_wan24_alpha4", 5, || {
+        pipeline.stream_cold(&cache, 20, &model)
+    });
+    let warm = pipeline.stream(&cache, 20, &model);
+    let cold = pipeline.stream_cold(&cache, 20, &model);
+    println!(
+        "{:>16} / iterations: warm {} vs cold {} ({:.2}x fewer)",
+        "stream",
+        warm.total_iterations(),
+        cold.total_iterations(),
+        cold.total_iterations() as f64 / warm.total_iterations().max(1) as f64
+    );
+}
+
 fn bench_solvers() {
     let valiant = ValiantRouting::new(6);
     let d = Demand::hypercube_bit_reversal(6);
@@ -236,6 +278,7 @@ fn main() {
     bench_embeddings();
     bench_sampling();
     bench_engine();
+    bench_stream();
     bench_solvers();
     bench_rounding_and_sim();
     bench_paper_machinery();

@@ -53,7 +53,11 @@ mod cache;
 mod pipeline;
 pub mod sampling;
 mod spec;
+mod stream;
 
 pub use cache::{CacheStats, OptBounds, PathSystemCache, SharedTemplate};
 pub use pipeline::{EvalRecord, Objective, Pipeline, PreparedPipeline, RunReport};
-pub use spec::{DemandSpec, Param, ResolveCtx, ScenarioSpec, TemplateSpec, TopologySpec};
+pub use spec::{
+    DemandSpec, Param, ResolveCtx, ScenarioSpec, StreamModel, TemplateSpec, TopologySpec,
+};
+pub use stream::{DynamicReport, FailureSweepReport, FailureTrial, StreamReport, StreamStep};

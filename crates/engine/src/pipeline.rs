@@ -8,18 +8,22 @@
 //! this type; none of them hand-roll the stage plumbing anymore.
 
 use crate::cache::{OptBounds, PathSystemCache, SharedTemplate};
-use crate::sampling::par_alpha_sample;
-use crate::spec::{DemandSpec, ResolveCtx, TemplateSpec, TopologySpec};
+use crate::sampling::{mix, par_alpha_sample};
+use crate::spec::{DemandSpec, ResolveCtx, StreamModel, TemplateSpec, TopologySpec};
+use crate::stream::{FailureSweepReport, FailureTrial, StreamReport, StreamStep};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use ssor_core::completion::{CompletionOptions, CompletionTimeRouter, ScaleGrowth};
 use ssor_core::sample::all_pairs;
 use ssor_core::{PathSystem, SemiObliviousRouter};
-use ssor_flow::mincong::min_congestion_unrestricted;
+use ssor_flow::mincong::{
+    min_congestion_masked, min_congestion_restricted, min_congestion_unrestricted, CandidateOracle,
+};
 use ssor_flow::rounding::round_routing;
+use ssor_flow::warm::{DemandDelta, Solution as WarmSolution};
 use ssor_flow::{Demand, SolveOptions};
-use ssor_graph::Graph;
+use ssor_graph::{EdgeId, Graph, SubTopology};
 use ssor_lowerbound::graphs::CGraphMeta;
 use ssor_sim::{simulate_routing, SimConfig};
 use std::sync::Arc;
@@ -507,6 +511,279 @@ impl Pipeline {
             wall: start.elapsed(),
         }
     }
+
+    /// The stream stage: routes a `steps`-long demand sequence from
+    /// `model` through the pipeline's (cached) path system with
+    /// **warm-started** incremental solves — each step re-solves from the
+    /// previous step's flow instead of from scratch. Unless
+    /// [`Pipeline::without_opt`] was set, every step also runs the
+    /// cold-solve oracle on the same restricted problem and reports the
+    /// warm/cold congestion ratio (≈1 certifies that warm starts lose no
+    /// quality).
+    ///
+    /// When [`Pipeline::simulate`] is enabled, integral steps are
+    /// additionally rounded and packet-simulated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{Pipeline, StreamModel, TemplateSpec, TopologySpec};
+    ///
+    /// let model = StreamModel::BurstyOnOff {
+    ///     pairs: 5,
+    ///     rate: 1.0.into(),
+    ///     p_on: 0.5.into(),
+    ///     p_off: 0.3.into(),
+    ///     seed: 2,
+    /// };
+    /// let report = Pipeline::on(TopologySpec::Hypercube { dim: 3 })
+    ///     .template(TemplateSpec::Valiant)
+    ///     .alpha(2)
+    ///     .stream(&Default::default(), 4, &model);
+    /// assert_eq!(report.steps.len(), 4);
+    /// assert!(report.worst_vs_cold().unwrap() < 1.2);
+    /// ```
+    pub fn stream(
+        &self,
+        cache: &PathSystemCache,
+        steps: usize,
+        model: &StreamModel,
+    ) -> StreamReport {
+        self.stream_impl(cache, steps, model, true)
+    }
+
+    /// The all-cold baseline of [`Pipeline::stream`]: the identical
+    /// demand sequence, every step solved from scratch, no ratio columns.
+    /// Benchmarks time this against the warm variant.
+    pub fn stream_cold(
+        &self,
+        cache: &PathSystemCache,
+        steps: usize,
+        model: &StreamModel,
+    ) -> StreamReport {
+        self.stream_impl(cache, steps, model, false)
+    }
+
+    fn stream_impl(
+        &self,
+        cache: &PathSystemCache,
+        steps: usize,
+        model: &StreamModel,
+        warm: bool,
+    ) -> StreamReport {
+        let prepared = self.prepare(cache);
+        let g = prepared.graph();
+        let demands = model.sequence(g.n(), steps);
+        let start = Instant::now();
+        let mut warm_sol = WarmSolution::new(g);
+        let mut records = Vec::with_capacity(steps);
+        for (step, d) in demands.into_iter().enumerate() {
+            let sol = if warm {
+                let mut oracle = CandidateOracle::new(prepared.paths().candidates());
+                warm_sol.resolve(g, DemandDelta::Replace(d.clone()), &mut oracle, &self.solve)
+            } else {
+                min_congestion_restricted(g, &d, prepared.paths().candidates(), &self.solve)
+            };
+            let cold = (warm && self.compute_opt).then(|| {
+                min_congestion_restricted(g, &d, prepared.paths().candidates(), &self.solve)
+            });
+            let vs_cold = cold.as_ref().map(|c| {
+                if c.congestion > 0.0 {
+                    sol.congestion / c.congestion
+                } else {
+                    1.0
+                }
+            });
+            let makespan = self.simulate.as_ref().and_then(|cfg| {
+                if d.is_empty() || !d.is_integral() {
+                    return None;
+                }
+                let mut rng = StdRng::seed_from_u64(self.seed ^ SIM_STREAM_TAG ^ mix(step as u64));
+                let rounded = round_routing(g, &sol.routing, &d, 16, &mut rng);
+                let cfg = cfg.with_seed(cfg.seed ^ mix(step as u64));
+                Some(simulate_routing(g, &rounded.routing, &cfg).makespan)
+            });
+            records.push(StreamStep {
+                step,
+                size: d.size(),
+                congestion: sol.congestion,
+                lower_bound: sol.lower_bound,
+                iterations: sol.iterations,
+                cold_congestion: cold.as_ref().map(|c| c.congestion),
+                cold_iterations: cold.as_ref().map(|c| c.iterations),
+                vs_cold,
+                makespan,
+            });
+        }
+        StreamReport {
+            steps: records,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// The failure-sweep stage: `trials` independent trials, each
+    /// knocking `k_failures` random edges out of the topology through a
+    /// [`SubTopology`] mask (derived-seed retries keep the damaged
+    /// topology connected when possible), dropping candidate paths that
+    /// cross dead edges, and re-routing every base demand on the
+    /// survivors with a **warm-started** solve seeded from the intact
+    /// topology's solution. Unless [`Pipeline::without_opt`] was set,
+    /// each record also carries a cold restricted solve on the same
+    /// survivors plus the certified optimum of the *damaged* topology
+    /// (masked all-paths solve) and the resulting ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand batch is empty or `k_failures >= m`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{DemandSpec, Pipeline, TemplateSpec, TopologySpec};
+    ///
+    /// let report = Pipeline::on(TopologySpec::Hypercube { dim: 3 })
+    ///     .template(TemplateSpec::Valiant)
+    ///     .alpha(3)
+    ///     .demand("complement", DemandSpec::Complement)
+    ///     .failure_sweep(&Default::default(), 2, 3);
+    /// assert_eq!(report.trials.len(), 3);
+    /// assert!(report.mean_coverage() > 0.5);
+    /// ```
+    pub fn failure_sweep(
+        &self,
+        cache: &PathSystemCache,
+        k_failures: usize,
+        trials: usize,
+    ) -> FailureSweepReport {
+        let start = Instant::now();
+        let prepared = self.prepare(cache);
+        let g = prepared.graph();
+        assert!(
+            k_failures < g.m(),
+            "cannot fail {k_failures} of {} edges",
+            g.m()
+        );
+        assert!(
+            !self.demands.is_empty(),
+            "failure sweep needs at least one demand in the batch"
+        );
+        let demands: Vec<(String, Demand)> = self
+            .demands
+            .iter()
+            .map(|(name, spec)| (name.clone(), prepared.resolve(spec)))
+            .collect();
+        // One warm base solution per demand on the intact topology; every
+        // trial clones it, invalidates the dead edges, and re-solves.
+        let base_warm: Vec<WarmSolution> = demands
+            .iter()
+            .map(|(_, d)| {
+                let mut oracle = CandidateOracle::new(prepared.paths().candidates());
+                WarmSolution::solve(g, d, &mut oracle, &self.solve)
+            })
+            .collect();
+        let mut sub = g.sub_topology();
+        let mut records = Vec::with_capacity(trials * demands.len());
+        for trial in 0..trials {
+            let (dead, attempts) = self.draw_failures(&mut sub, k_failures, trial);
+            let mut survivors = prepared.paths().clone();
+            for &e in &dead {
+                survivors.remove_paths_through(e);
+            }
+            let usable = sub.usable_edges();
+            for ((name, d), warm0) in demands.iter().zip(base_warm.iter()) {
+                let covered = d.filtered(|s, t, _| survivors.covers_pair(s, t));
+                let coverage = if d.support_len() == 0 {
+                    1.0
+                } else {
+                    covered.support_len() as f64 / d.support_len() as f64
+                };
+                let (congestion, iterations, cold_congestion) = if covered.is_empty() {
+                    (None, 0, None)
+                } else {
+                    let mut warm = warm0.clone();
+                    warm.invalidate_edges(&dead);
+                    let mut oracle = CandidateOracle::new(survivors.candidates());
+                    let sol = warm.resolve(
+                        g,
+                        DemandDelta::Replace(covered.clone()),
+                        &mut oracle,
+                        &self.solve,
+                    );
+                    // The cold restricted baseline is a quality oracle
+                    // like the stream's — skipped under `without_opt`.
+                    let cold = self.compute_opt.then(|| {
+                        min_congestion_restricted(g, &covered, survivors.candidates(), &self.solve)
+                            .congestion
+                    });
+                    (Some(sol.congestion), sol.iterations, cold)
+                };
+                // Covered pairs always stay reachable (their surviving
+                // candidate path lies inside the mask), so the masked
+                // solve cannot hit a disconnection panic.
+                let opt_lower_bound = (self.compute_opt && !covered.is_empty())
+                    .then(|| min_congestion_masked(g, &covered, &usable, &self.solve).lower_bound);
+                let ratio = match (congestion, opt_lower_bound) {
+                    (Some(c), Some(lb)) => Some(c / lb.max(f64::MIN_POSITIVE)),
+                    _ => None,
+                };
+                records.push(FailureTrial {
+                    trial,
+                    demand: name.clone(),
+                    failed_edges: dead.clone(),
+                    attempts,
+                    coverage,
+                    congestion,
+                    iterations,
+                    cold_congestion,
+                    opt_lower_bound,
+                    ratio,
+                });
+            }
+            sub.restore_all();
+        }
+        FailureSweepReport {
+            trials: records,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Draws `k` distinct dead edges for `trial` into `sub` (left failed
+    /// on return), retrying with derived seeds — bounded and
+    /// deterministic — when the knockout disconnects the topology.
+    /// Returns the sorted dead edges and the number of rejected draws.
+    fn draw_failures(&self, sub: &mut SubTopology, k: usize, trial: usize) -> (Vec<EdgeId>, usize) {
+        const MAX_ATTEMPTS: usize = 8;
+        let m = sub.m();
+        let mut dead: Vec<EdgeId> = Vec::new();
+        for attempt in 0..MAX_ATTEMPTS {
+            sub.restore_all();
+            // Nested (not XOR-ed) mixing: `mix(a) ^ mix(b)` is symmetric,
+            // so it would collide distinct (trial, attempt) pairs — e.g.
+            // every trial == attempt would share one seed.
+            let mut rng = StdRng::seed_from_u64(mix(mix(self.seed
+                ^ FAILURE_STREAM_TAG
+                ^ mix(trial as u64))
+                ^ attempt as u64));
+            // Partial Fisher–Yates: k distinct edge ids.
+            let mut ids: Vec<EdgeId> = (0..m as EdgeId).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..m);
+                ids.swap(i, j);
+            }
+            dead = ids[..k].to_vec();
+            dead.sort_unstable();
+            for &e in &dead {
+                sub.fail_edge(e);
+            }
+            if sub.is_connected() {
+                return (dead, attempt);
+            }
+        }
+        // Retries exhausted: keep the last draw. Re-routes and the masked
+        // OPT act on covered pairs only, which remain reachable, so a
+        // disconnected trial degrades coverage instead of panicking.
+        (dead, MAX_ATTEMPTS)
+    }
 }
 
 /// Which router stage 4 uses.
@@ -748,6 +1025,9 @@ impl PreparedPipeline {
 /// Tag XOR-ed into the run seed for the rounding/simulation RNG stream,
 /// keeping it decorrelated from the sampling stream.
 const SIM_STREAM_TAG: u64 = 0x51D3_4D31_7261_C0DE;
+
+/// Tag XOR-ed into the run seed for the failure-sweep trial stream.
+const FAILURE_STREAM_TAG: u64 = 0xFA11_0E4E_D15A_57E4;
 
 #[cfg(test)]
 mod tests {

@@ -20,13 +20,9 @@ use ssor_core::PathSystem;
 use ssor_graph::VertexId;
 use ssor_oblivious::ObliviousRouting;
 
-/// SplitMix64 finalizer: decorrelates per-pair seeds.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The workspace's shared SplitMix64 finalizer (also used by the
+// failure-sweep runner to derive per-trial seeds).
+pub(crate) use ssor_graph::generators::mix_seed as mix;
 
 /// The RNG seed pair `(s, t)` uses under run seed `seed` at sparsity
 /// `alpha` — public so callers can reproduce a single pair's draw in

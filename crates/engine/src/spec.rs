@@ -7,7 +7,7 @@
 //! a complete, comparable key for a sampled path system.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use ssor_flow::Demand;
 use ssor_graph::{generators, Graph, VertexId};
 use ssor_lowerbound::adversary::find_adversarial_demand;
@@ -165,7 +165,32 @@ pub enum TopologySpec {
         /// Sparsity budget the gadget is sized against.
         alpha: usize,
     },
+    /// A binary fat-tree of the given depth (edge multiplicity doubles
+    /// toward the root, modelling the fattened core).
+    FatTree {
+        /// Tree depth; leaves = `2^depth`.
+        depth: u32,
+    },
+    /// A two-tier leaf–spine Clos fabric: every leaf uplinks to every
+    /// spine (`uplink_mult` parallel edges each), hosts hang off leaves.
+    /// The datacenter topology the failure sweeps exercise — any single
+    /// spine or uplink can die without disconnecting it when
+    /// `spines >= 2`.
+    LeafSpine {
+        /// Spine switches.
+        spines: usize,
+        /// Leaf switches.
+        leaves: usize,
+        /// Hosts per leaf switch.
+        hosts_per_leaf: usize,
+        /// Parallel edges per leaf–spine uplink (capacity).
+        uplink_mult: u32,
+    },
 }
+
+/// Bounded derived-seed retries before a Waxman draw falls back to
+/// stitching (see `ssor_graph::generators::waxman_connected`).
+const WAXMAN_MAX_ATTEMPTS: usize = 16;
 
 impl TopologySpec {
     /// Builds the graph (deterministic: random families use their stored
@@ -203,17 +228,34 @@ impl TopologySpec {
                 (generators::erdos_renyi(n, p.value(), &mut rng), None)
             }
             TopologySpec::Waxman { n, a, b, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                (
-                    generators::waxman(n, a.value(), b.value(), &mut rng).0,
-                    None,
-                )
+                // A raw Waxman draw can be disconnected (unlucky seeds
+                // strand routers), which used to surface only as a panic
+                // deep inside path sampling. Detect it here and retry
+                // with derived seeds, deterministically and bounded.
+                let (g, _, _) = generators::waxman_connected(
+                    n,
+                    a.value(),
+                    b.value(),
+                    seed,
+                    WAXMAN_MAX_ATTEMPTS,
+                );
+                (g, None)
             }
             TopologySpec::LowerBoundC { n, alpha } => {
                 let k = ssor_lowerbound::graphs::k_for_alpha(n, alpha);
                 let (g, meta) = c_graph(n, k);
                 (g, Some(meta))
             }
+            TopologySpec::FatTree { depth } => (generators::fat_tree(depth), None),
+            TopologySpec::LeafSpine {
+                spines,
+                leaves,
+                hosts_per_leaf,
+                uplink_mult,
+            } => (
+                generators::leaf_spine(spines, leaves, hosts_per_leaf, uplink_mult),
+                None,
+            ),
         }
     }
 
@@ -519,6 +561,148 @@ impl DemandSpec {
     }
 }
 
+/// Tag XOR-ed into stream-model seeds, decorrelating the demand-stream
+/// RNG from template construction, sampling, and one-shot demand streams
+/// started from the same numeric seed.
+const STREAM_MODEL_TAG: u64 = 0x57E4_3A11_D00D_FEED;
+
+/// How a [`ScenarioSpec::DemandStream`] evolves its demand over time.
+///
+/// A model is a pure function of `(n, steps)` plus its stored seed, so
+/// the whole sequence is reproducible and hashable — a stream is a spec,
+/// not a side effect.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_engine::StreamModel;
+///
+/// let model = StreamModel::DiurnalGravity {
+///     total: 20.0.into(),
+///     period: 8,
+///     seed: 1,
+/// };
+/// let demands = model.sequence(10, 5);
+/// assert_eq!(demands.len(), 5);
+/// assert!(demands.iter().all(|d| d.size() > 0.0));
+/// // Deterministic per seed.
+/// assert_eq!(demands, model.sequence(10, 5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StreamModel {
+    /// Gravity traffic with sinusoidal diurnal drift: one
+    /// [`GravityModel`] sampled per stream, one snapshot per step (hour
+    /// `t` of `period`). The SMORE-style slowly-drifting WAN workload —
+    /// the regime where warm starts shine.
+    DiurnalGravity {
+        /// Total traffic volume of the model (before modulation).
+        total: Param,
+        /// Steps per diurnal cycle.
+        period: usize,
+        /// Model seed.
+        seed: u64,
+    },
+    /// `pairs` bursty flows, each flipping between OFF and ON (at
+    /// `rate`) through a two-state Markov chain: OFF→ON with probability
+    /// `p_on` per step, ON→OFF with `p_off`. Initial states draw from
+    /// the stationary distribution. Support churn stresses the warm
+    /// solver's pair bookkeeping (leaving pairs keep their carried
+    /// distribution for when they return).
+    BurstyOnOff {
+        /// Number of (distinct, directed) flows.
+        pairs: usize,
+        /// Demand of a flow while ON.
+        rate: Param,
+        /// OFF → ON transition probability per step.
+        p_on: Param,
+        /// ON → OFF transition probability per step.
+        p_off: Param,
+        /// Model seed.
+        seed: u64,
+    },
+}
+
+impl StreamModel {
+    /// Materializes the demand sequence for an `n`-vertex graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameters are out of range (non-positive
+    /// total/rate, probabilities outside `[0, 1]`, `period == 0`, or
+    /// more pairs than an `n`-vertex graph has).
+    pub fn sequence(&self, n: usize, steps: usize) -> Vec<Demand> {
+        match *self {
+            StreamModel::DiurnalGravity {
+                total,
+                period,
+                seed,
+            } => {
+                assert!(total.value() > 0.0 && total.value().is_finite());
+                assert!(period >= 1, "diurnal period must be positive");
+                let mut rng = StdRng::seed_from_u64(seed ^ STREAM_MODEL_TAG);
+                let model = GravityModel::sample(n, total.value(), &mut rng);
+                (0..steps)
+                    .map(|t| model.snapshot(t % period, period, &mut rng))
+                    .collect()
+            }
+            StreamModel::BurstyOnOff {
+                pairs,
+                rate,
+                p_on,
+                p_off,
+                seed,
+            } => {
+                assert!(rate.value() > 0.0 && rate.value().is_finite());
+                let (p_on, p_off) = (p_on.value(), p_off.value());
+                assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
+                assert!(
+                    pairs <= n.saturating_mul(n.saturating_sub(1)),
+                    "more flows than ordered pairs"
+                );
+                let mut rng = StdRng::seed_from_u64(seed ^ STREAM_MODEL_TAG);
+                let mut flows: Vec<(VertexId, VertexId)> = Vec::with_capacity(pairs);
+                let mut guard = 0usize;
+                while flows.len() < pairs && guard < 100 * pairs + 100 {
+                    let s = rng.gen_range(0..n) as VertexId;
+                    let t = rng.gen_range(0..n) as VertexId;
+                    if s != t && !flows.contains(&(s, t)) {
+                        flows.push((s, t));
+                    }
+                    guard += 1;
+                }
+                // Stationary initial states keep short streams unbiased.
+                let p_stat = if p_on + p_off > 0.0 {
+                    p_on / (p_on + p_off)
+                } else {
+                    0.0
+                };
+                let mut on: Vec<bool> = (0..flows.len()).map(|_| rng.gen_bool(p_stat)).collect();
+                (0..steps)
+                    .map(|step| {
+                        if step > 0 {
+                            for state in on.iter_mut() {
+                                *state = if *state {
+                                    !rng.gen_bool(p_off)
+                                } else {
+                                    rng.gen_bool(p_on)
+                                };
+                            }
+                        }
+                        let mut d = Demand::new();
+                        for (&(s, t), &is_on) in flows.iter().zip(on.iter()) {
+                            if is_on {
+                                d.set(s, t, rate.value());
+                            }
+                        }
+                        d
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 /// A named end-to-end workload: topology + recommended template + demand
 /// batch, so a new experiment is a config value rather than a new binary.
 ///
@@ -575,6 +759,35 @@ pub enum ScenarioSpec {
         /// Sparsity budget.
         alpha: usize,
     },
+    /// A random-link-failure sweep over a (static) base scenario: per
+    /// trial, `k_failures` edges are knocked out through a
+    /// `ssor_graph::SubTopology` mask (derived-seed retries keep the
+    /// damaged topology connected when possible), candidate paths
+    /// crossing dead edges are dropped, and the base demands re-route on
+    /// the survivors with a warm-started solve. Run with
+    /// [`ScenarioSpec::run_dynamic`] or
+    /// [`crate::Pipeline::failure_sweep`].
+    FailureSweep {
+        /// The scenario whose topology, template, and demands are swept.
+        base: Box<ScenarioSpec>,
+        /// Edges knocked out per trial.
+        k_failures: usize,
+        /// Number of independent trials.
+        trials: usize,
+    },
+    /// A time-evolving demand stream over a (static) base scenario's
+    /// topology and sampled path system: `steps` demands from `model`
+    /// are routed in sequence with warm-started incremental solves,
+    /// reported against a per-step cold-solve oracle. Run with
+    /// [`ScenarioSpec::run_dynamic`] or [`crate::Pipeline::stream`].
+    DemandStream {
+        /// The scenario whose topology and template serve the stream.
+        base: Box<ScenarioSpec>,
+        /// Number of stream steps.
+        steps: usize,
+        /// The demand evolution model.
+        model: StreamModel,
+    },
 }
 
 impl ScenarioSpec {
@@ -604,6 +817,9 @@ impl ScenarioSpec {
                 n: *n,
                 alpha: *alpha,
             },
+            ScenarioSpec::FailureSweep { base, .. } | ScenarioSpec::DemandStream { base, .. } => {
+                base.topology()
+            }
         }
     }
 
@@ -626,6 +842,9 @@ impl ScenarioSpec {
             // The lower bound is stated against any sparse system; KSP
             // gives the adversary a deterministic, inspectable support.
             ScenarioSpec::LowerBound { alpha, .. } => TemplateSpec::Ksp { k: (alpha + 1) * 2 },
+            ScenarioSpec::FailureSweep { base, .. } | ScenarioSpec::DemandStream { base, .. } => {
+                base.template()
+            }
         }
     }
 
@@ -675,6 +894,11 @@ impl ScenarioSpec {
             ScenarioSpec::LowerBound { .. } => {
                 vec![("adversarial".into(), DemandSpec::AdversarialLowerBound)]
             }
+            // The sweep re-routes the base demands per trial; the stream
+            // generates its own sequence and ignores the batch.
+            ScenarioSpec::FailureSweep { base, .. } | ScenarioSpec::DemandStream { base, .. } => {
+                base.demands()
+            }
         }
     }
 
@@ -699,6 +923,49 @@ impl ScenarioSpec {
         match self {
             ScenarioSpec::LowerBound { alpha, .. } => p.alpha(*alpha),
             _ => p,
+        }
+    }
+
+    /// Runs a dynamic scenario ([`ScenarioSpec::FailureSweep`] or
+    /// [`ScenarioSpec::DemandStream`]) end to end through `cache`;
+    /// returns `None` for static scenarios (use
+    /// [`ScenarioSpec::pipeline`] + `run` for those).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{ScenarioSpec, StreamModel};
+    ///
+    /// let stream = ScenarioSpec::DemandStream {
+    ///     base: Box::new(ScenarioSpec::HypercubeAdversarial { dim: 3 }),
+    ///     steps: 3,
+    ///     model: StreamModel::BurstyOnOff {
+    ///         pairs: 4,
+    ///         rate: 1.0.into(),
+    ///         p_on: 0.6.into(),
+    ///         p_off: 0.3.into(),
+    ///         seed: 1,
+    ///     },
+    /// };
+    /// let report = stream.run_dynamic(&Default::default()).unwrap();
+    /// match report {
+    ///     ssor_engine::DynamicReport::Stream(s) => assert_eq!(s.steps.len(), 3),
+    ///     _ => unreachable!(),
+    /// }
+    /// ```
+    pub fn run_dynamic(&self, cache: &crate::PathSystemCache) -> Option<crate::DynamicReport> {
+        match self {
+            ScenarioSpec::FailureSweep {
+                base,
+                k_failures,
+                trials,
+            } => Some(crate::DynamicReport::Failures(
+                base.pipeline().failure_sweep(cache, *k_failures, *trials),
+            )),
+            ScenarioSpec::DemandStream { base, steps, model } => Some(
+                crate::DynamicReport::Stream(base.pipeline().stream(cache, *steps, model)),
+            ),
+            _ => None,
         }
     }
 }

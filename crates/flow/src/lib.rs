@@ -12,8 +12,12 @@
 //!   congestion (`cong`) and dilation (`dil`) exactly as defined in the
 //!   paper;
 //! * [`mincong`] — Frank–Wolfe min-congestion solver with dual
-//!   certificates, both restricted to a candidate path system (Stage-4 rate
-//!   adaptation) and unrestricted (offline fractional OPT);
+//!   certificates: restricted to a candidate path system (Stage-4 rate
+//!   adaptation), unrestricted (offline fractional OPT), and masked to a
+//!   failure-damaged subtopology (`min_congestion_masked`);
+//! * [`warm`] — warm-started incremental re-solves for demand streams and
+//!   failure drills ([`warm::Solution::resolve`] reuses the previous
+//!   flow instead of solving from scratch);
 //! * [`Candidates`] / [`CandidateSet`] — the interned candidate-path view
 //!   the restricted solver consumes (a `PathStore` arena plus per-pair
 //!   `PathId` lists);
@@ -46,6 +50,7 @@ pub mod lp;
 pub mod mincong;
 pub mod rounding;
 mod routing;
+pub mod warm;
 
 pub use candidates::{CandidateSet, Candidates};
 pub use demand::Demand;

@@ -32,9 +32,22 @@
 use crate::candidates::Candidates;
 use crate::demand::Demand;
 use crate::routing::Routing;
-use ssor_graph::shortest_path::dijkstra_tree_csr;
+use ssor_graph::shortest_path::{dijkstra_tree_csr, dijkstra_tree_csr_masked};
 use ssor_graph::{Csr, EdgeLoads, Graph, Path, PathId, PathStore, VertexId};
 use std::collections::BTreeMap;
+
+/// Per-pair weights at or below this fraction of the pair's probability
+/// mass are dropped when a routing is materialized. Each pair's weights
+/// sum to 1 and the solver normalizes demands to unit size internally
+/// (see [`min_congestion`]), so this threshold — like every other solver
+/// tolerance — is *relative* to the demand's scale, never absolute flow.
+pub(crate) const WEIGHT_PRUNE: f64 = 1e-15;
+
+/// Line-search steps at or below this count as "no progress at the
+/// current smoothing". `gamma` is a convex-combination coefficient in
+/// `[0, 1]` — dimensionless — so the cutoff is scale-free by
+/// construction.
+const GAMMA_MIN: f64 = 1e-12;
 
 /// Result of a min-congestion solve.
 #[derive(Debug, Clone)]
@@ -200,12 +213,14 @@ impl SolveOptions {
 
 /// Per-pair convex combination over discovered paths (interned in the
 /// solve's shared [`PathStore`]; membership is an id scan, never an
-/// edge-vector comparison).
-struct PairState {
-    pair: (VertexId, VertexId),
-    demand: f64,
-    ids: Vec<PathId>,
-    weights: Vec<f64>,
+/// edge-vector comparison). Shared with the warm-start wrapper in
+/// [`crate::warm`], which persists these states across related solves.
+pub(crate) struct PairState {
+    pub(crate) pair: (VertexId, VertexId),
+    /// The pair's demand, normalized by the total demand size.
+    pub(crate) demand: f64,
+    pub(crate) ids: Vec<PathId>,
+    pub(crate) weights: Vec<f64>,
 }
 
 impl PairState {
@@ -232,9 +247,17 @@ fn softmax(loads: &[f64], beta: f64) -> f64 {
 ///
 /// Returns the empty solution with congestion 0 for an empty demand.
 ///
+/// Internally the demand is normalized to unit size (`siz(d) = 1`) and
+/// the bounds are scaled back afterwards, so every solver tolerance is
+/// relative to the demand's scale: solving `c * d` yields `c` times the
+/// congestion and lower bound of `d` (up to floating-point roundoff) for
+/// any positive finite `c`, including extreme scales where the smoothing
+/// temperature would otherwise overflow.
+///
 /// # Panics
 ///
-/// Panics if the oracle cannot produce a path for some demanded pair.
+/// Panics if the oracle cannot produce a path for some demanded pair, or
+/// if the demand's total size overflows `f64`.
 pub fn min_congestion(
     g: &Graph,
     d: &Demand,
@@ -251,7 +274,9 @@ pub fn min_congestion(
         };
     }
     let m = g.m();
-    let demands: Vec<f64> = pairs.iter().map(|&(s, t)| d.get(s, t)).collect();
+    let scale = d.size();
+    assert!(scale.is_finite(), "demand size must be finite, got {scale}");
+    let demands: Vec<f64> = pairs.iter().map(|&(s, t)| d.get(s, t) / scale).collect();
 
     // One arena per solve: every path the oracle returns is interned here,
     // so re-discovered best responses dedup to the same id for free.
@@ -271,29 +296,95 @@ pub fn min_congestion(
         })
         .collect();
     let mut loads = EdgeLoads::zeros(m);
-    let mut lower_bound = 0.0f64;
-    {
-        // Dual bound from the all-ones weights.
+    // Dual bound from the all-ones weights.
+    let lower_bound = {
         let num: f64 = first
             .iter()
             .zip(demands.iter())
             .map(|((_, c), dem)| c * dem)
             .sum();
-        lower_bound = lower_bound.max(num / m as f64);
-    }
+        num / m as f64
+    };
     for (st, &(id, _)) in states.iter_mut().zip(first.iter()) {
         let i = st.ensure(id);
         st.weights[i] = 1.0;
         loads.add_path(&store, id, st.demand);
     }
 
+    let (lower_bound, iterations) = frank_wolfe(
+        m,
+        &mut states,
+        &mut loads,
+        &mut store,
+        oracle,
+        opts,
+        0.5,
+        lower_bound,
+    );
+
+    // Assemble the routing (paths materialize out of the arena only here,
+    // at the boundary) and measure it against the *original* demand.
+    let routing = assemble_routing(&states, &store);
+    let congestion = routing.congestion(g, d);
+    MinCongSolution {
+        routing,
+        congestion,
+        lower_bound: lower_bound * scale,
+        iterations,
+    }
+}
+
+/// Materializes the per-pair convex combinations into a [`Routing`],
+/// dropping weights at or below [`WEIGHT_PRUNE`].
+pub(crate) fn assemble_routing(states: &[PairState], store: &PathStore) -> Routing {
+    let mut routing = Routing::new();
+    for st in states {
+        let dist: Vec<(Path, f64)> = st
+            .ids
+            .iter()
+            .zip(st.weights.iter())
+            .filter(|(_, w)| **w > WEIGHT_PRUNE)
+            .map(|(&id, &w)| (store.materialize(id), w))
+            .collect();
+        routing.set_distribution(st.pair.0, st.pair.1, dist);
+    }
+    routing
+}
+
+/// The staged-smoothing Frank–Wolfe loop, shared by the cold entry points
+/// and the warm-started [`crate::warm::Solution`].
+///
+/// `states` holds the starting per-pair convex combinations (weights
+/// summing to 1 per pair, demands normalized to unit total size) and
+/// `loads` the matching edge-load accumulation. `stage_eps0` is the
+/// initial smoothing stage; both entry points start coarse (0.5) — from
+/// a warm near-optimal start the no-progress line-search path cascades
+/// the smoothing to the accuracy floor in a few cheap iterations, so no
+/// special schedule is needed.
+///
+/// Returns the best dual lower bound seen (at unit demand scale) and the
+/// number of iterations performed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn frank_wolfe(
+    m: usize,
+    states: &mut [PairState],
+    loads: &mut EdgeLoads,
+    store: &mut PathStore,
+    oracle: &mut dyn PathOracle,
+    opts: &SolveOptions,
+    stage_eps0: f64,
+    mut lower_bound: f64,
+) -> (f64, usize) {
+    let pairs: Vec<(VertexId, VertexId)> = states.iter().map(|st| st.pair).collect();
+    let demands: Vec<f64> = states.iter().map(|st| st.demand).collect();
+
     // Staged smoothing: start with a coarse softmax (fast global progress)
     // and sharpen whenever the primal stalls, down to the target accuracy.
     // A sharp softmax from the start makes Frank–Wolfe crawl: the gradient
     // concentrates on the single most-congested edge and only one path
     // shifts per iteration.
-    let mut stage_eps = 0.5f64;
     let eps_floor = (opts.eps * 0.25).min(0.5);
+    let mut stage_eps = stage_eps0.clamp(eps_floor, 0.5);
     let mut stall = 0usize;
     let mut prev_ub = f64::INFINITY;
 
@@ -325,7 +416,7 @@ pub fn min_congestion(
         let wsum: f64 = w.iter().sum();
 
         // Best response under w.
-        let best = oracle.best_paths(&pairs, &w, &mut store);
+        let best = oracle.best_paths(&pairs, &w, store);
 
         // Dual certificate from these weights.
         let num: f64 = best
@@ -342,7 +433,7 @@ pub fn min_congestion(
         // Loads of the pure best-response routing.
         loads_y.clear();
         for (&(id, _), dem) in best.iter().zip(demands.iter()) {
-            loads_y.add_path(&store, id, *dem);
+            loads_y.add_path(store, id, *dem);
         }
 
         // Exact line search on the softmax potential (convex in gamma).
@@ -366,7 +457,7 @@ pub fn min_congestion(
             }
         }
         let gamma = 0.5 * (lo + hi);
-        if gamma <= 1e-12 {
+        if gamma <= GAMMA_MIN {
             // No progress along this direction at the current smoothing:
             // sharpen if we can, otherwise we are done.
             if stage_eps > eps_floor {
@@ -392,26 +483,7 @@ pub fn min_congestion(
         }
     }
 
-    // Assemble the routing (paths materialize out of the arena only here,
-    // at the boundary).
-    let mut routing = Routing::new();
-    for st in &states {
-        let dist: Vec<(Path, f64)> = st
-            .ids
-            .iter()
-            .zip(st.weights.iter())
-            .filter(|(_, w)| **w > 1e-15)
-            .map(|(&id, &w)| (store.materialize(id), w))
-            .collect();
-        routing.set_distribution(st.pair.0, st.pair.1, dist);
-    }
-    let congestion = routing.congestion(g, d);
-    MinCongSolution {
-        routing,
-        congestion,
-        lower_bound,
-        iterations,
-    }
+    (lower_bound, iterations)
 }
 
 /// Stage-4 rate adaptation: `cong_R(P, d)` over the candidate sets
@@ -434,6 +506,80 @@ pub fn min_congestion_restricted(
 /// Offline fractional optimum `opt_{G,R}(d)` over all paths (Section 4).
 pub fn min_congestion_unrestricted(g: &Graph, d: &Demand, opts: &SolveOptions) -> MinCongSolution {
     let mut oracle = AllPathsOracle::new(g);
+    min_congestion(g, d, &mut oracle, opts)
+}
+
+/// Oracle over all simple paths of the *usable* part of a masked
+/// topology (see `ssor_graph::SubTopology::usable_edges`): dead edges
+/// get infinite weight in the Dijkstra sweep, so they are never chosen,
+/// while edge ids and traversal order stay identical to the unmasked
+/// [`AllPathsOracle`] — no graph is rebuilt and no ids shift.
+#[derive(Debug)]
+pub struct MaskedPathsOracle<'a> {
+    graph: &'a Graph,
+    csr: Csr,
+    usable: Vec<bool>,
+}
+
+impl<'a> MaskedPathsOracle<'a> {
+    /// Creates the oracle; `usable` is indexed by edge id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usable.len() != graph.m()`.
+    pub fn new(graph: &'a Graph, usable: &[bool]) -> Self {
+        assert_eq!(usable.len(), graph.m(), "one mask bit per edge required");
+        MaskedPathsOracle {
+            graph,
+            csr: graph.csr(),
+            usable: usable.to_vec(),
+        }
+    }
+}
+
+impl PathOracle for MaskedPathsOracle<'_> {
+    fn best_paths(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        w: &[f64],
+        store: &mut PathStore,
+    ) -> Vec<(PathId, f64)> {
+        let mut by_source: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
+        for (i, &(s, _)) in pairs.iter().enumerate() {
+            by_source.entry(s).or_default().push(i);
+        }
+        let mut out: Vec<Option<(PathId, f64)>> = vec![None; pairs.len()];
+        for (s, idxs) in by_source {
+            let tree = dijkstra_tree_csr_masked(&self.csr, s, &|e| w[e as usize], &self.usable);
+            for i in idxs {
+                let t = pairs[i].1;
+                let p = tree.path_to(self.graph, t).unwrap_or_else(|| {
+                    panic!("pair ({s}, {t}) is unreachable in the masked topology")
+                });
+                out[i] = Some((store.intern(&p), tree.dist_to(t)));
+            }
+        }
+        out.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+/// Offline fractional optimum on a failure-masked topology: like
+/// [`min_congestion_unrestricted`], but only edges marked usable may
+/// carry flow. `usable` is the combined mask a
+/// `ssor_graph::SubTopology` exports; the graph itself is untouched, so
+/// the resulting loads and routing use the base graph's edge ids.
+///
+/// # Panics
+///
+/// Panics if some demanded pair is unreachable through usable edges, or
+/// if `usable.len() != g.m()`.
+pub fn min_congestion_masked(
+    g: &Graph,
+    d: &Demand,
+    usable: &[bool],
+    opts: &SolveOptions,
+) -> MinCongSolution {
+    let mut oracle = MaskedPathsOracle::new(g, usable);
     min_congestion(g, d, &mut oracle, opts)
 }
 
@@ -555,6 +701,45 @@ mod tests {
         // achieves exactly 2 (edge-disjoint dimension-ordered batches).
         assert!(sol.congestion < 2.3, "congestion = {}", sol.congestion);
         assert!(sol.lower_bound >= 1.9, "lb = {}", sol.lower_bound);
+    }
+
+    #[test]
+    fn masked_solve_avoids_dead_edges() {
+        // Ring of 6 with one edge of the short side failed: the whole
+        // 0 -> 3 unit is forced onto the surviving side.
+        let g = generators::ring(6);
+        let mut sub = g.sub_topology();
+        sub.fail_edge(1); // the (1, 2) edge
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_masked(&g, &d, &sub.usable_edges(), &opts());
+        assert!(
+            (sol.congestion - 1.0).abs() < 1e-6,
+            "congestion = {}",
+            sol.congestion
+        );
+        let loads = sol.routing.edge_loads(&g, &d);
+        assert_eq!(loads.get(1), 0.0, "no flow on the dead edge");
+    }
+
+    #[test]
+    fn masked_solve_with_full_mask_matches_unrestricted() {
+        let g = generators::grid(3, 3);
+        let d = Demand::from_pairs(&[(0, 8), (2, 6)]);
+        let full = vec![true; g.m()];
+        let masked = min_congestion_masked(&g, &d, &full, &opts());
+        let open = min_congestion_unrestricted(&g, &d, &opts());
+        assert!((masked.congestion - open.congestion).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable in the masked topology")]
+    fn masked_solve_detects_disconnection() {
+        let g = generators::ring(4);
+        let mut sub = g.sub_topology();
+        sub.fail_edge(0); // (0, 1)
+        sub.fail_edge(2); // (2, 3)
+        let d = Demand::from_pairs(&[(0, 2)]);
+        min_congestion_masked(&g, &d, &sub.usable_edges(), &opts());
     }
 
     #[test]

@@ -51,19 +51,35 @@ impl Routing {
 
     /// Sets the distribution for pair `(s, t)`, normalizing the weights.
     ///
+    /// Every weight is validated *before* it enters the normalizing
+    /// total: a negative, NaN, or infinite weight would otherwise poison
+    /// the normalization silently (a negative weight shrinks the total,
+    /// inflating every kept path's probability above 1; a NaN total turns
+    /// every downstream congestion number into NaN).
+    ///
     /// # Panics
     ///
     /// Panics if any path does not run from `s` to `t`, if any weight is
-    /// negative, or if all weights are zero.
+    /// negative or non-finite (NaN/∞), or if the weights sum to zero or
+    /// to a non-finite total.
     pub fn set_distribution(&mut self, s: VertexId, t: VertexId, paths: Vec<(Path, f64)>) {
         assert!(!paths.is_empty(), "distribution needs at least one path");
+        for (_, w) in &paths {
+            assert!(
+                w.is_finite() && *w >= 0.0,
+                "path weight must be finite and nonnegative, got {w}"
+            );
+        }
         let total: f64 = paths.iter().map(|(_, w)| *w).sum();
         assert!(total > 0.0, "weights must not all be zero");
+        assert!(
+            total.is_finite(),
+            "path weights must sum to a finite total, got {total}"
+        );
         let entry: Vec<WeightedPath> = paths
             .into_iter()
             .filter(|(_, w)| *w > 0.0)
             .map(|(path, w)| {
-                assert!(w >= 0.0, "negative path weight");
                 assert_eq!(path.source(), s, "path source mismatch");
                 assert_eq!(path.target(), t, "path target mismatch");
                 WeightedPath {
@@ -362,6 +378,57 @@ mod tests {
         let g = triangle();
         let mut r = Routing::new();
         r.set_distribution(1, 2, vec![(Path::from_vertices(&g, &[0, 2]).unwrap(), 1.0)]);
+    }
+
+    // Regression: a negative weight used to be filtered out *after*
+    // entering the normalizing total, so `[2.0, -1.0]` normalized the
+    // kept path by 1.0 and produced a "distribution" of total mass 2 —
+    // silently doubling every congestion number downstream. It must be
+    // rejected loudly instead.
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn set_distribution_rejects_negative_weight() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_distribution(
+            0,
+            2,
+            vec![
+                (Path::from_vertices(&g, &[0, 1, 2]).unwrap(), 2.0),
+                (Path::from_vertices(&g, &[0, 2]).unwrap(), -1.0),
+            ],
+        );
+    }
+
+    // Regression: a NaN weight used to surface (if at all) as the
+    // misleading "weights must not all be zero"; now it is named.
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn set_distribution_rejects_nan_weight() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_distribution(
+            0,
+            2,
+            vec![
+                (Path::from_vertices(&g, &[0, 1, 2]).unwrap(), 1.0),
+                (Path::from_vertices(&g, &[0, 2]).unwrap(), f64::NAN),
+            ],
+        );
+    }
+
+    // Regression: an infinite weight used to normalize every path to
+    // 0/NaN silently.
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn set_distribution_rejects_infinite_weight() {
+        let g = triangle();
+        let mut r = Routing::new();
+        r.set_distribution(
+            0,
+            2,
+            vec![(Path::from_vertices(&g, &[0, 2]).unwrap(), f64::INFINITY)],
+        );
     }
 
     #[test]

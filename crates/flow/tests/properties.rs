@@ -172,3 +172,71 @@ proptest! {
         prop_assert!((ir.congestion(&g) as f64 - frac).abs() < 1e-9);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Solver tolerances are relative to demand size (the solver
+    // normalizes internally), so congestion must scale linearly with the
+    // demand across many orders of magnitude.
+    #[test]
+    fn min_congestion_is_scale_equivariant(
+        (g, d) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), demand_on(n))
+        }),
+        exp in -6i32..7,
+    ) {
+        prop_assume!(!d.is_empty());
+        let c = 10f64.powi(exp);
+        let opts = SolveOptions { eps: 0.05, max_iters: 3000 };
+        let base = min_congestion_unrestricted(&g, &d, &opts);
+        let scaled = min_congestion_unrestricted(&g, &d.scaled(c), &opts);
+        // Each solve is certified within (1 + eps) of the same optimum
+        // (at its own scale), so the two can differ by at most ~eps each
+        // way.
+        let expected = c * base.congestion;
+        prop_assert!(
+            scaled.congestion <= expected * 1.11 + f64::MIN_POSITIVE,
+            "scale {}: got {}, expected ~{}", c, scaled.congestion, expected
+        );
+        prop_assert!(
+            scaled.congestion >= expected / 1.11 - f64::MIN_POSITIVE,
+            "scale {}: got {}, expected ~{}", c, scaled.congestion, expected
+        );
+        // The dual certificate survives scaling too.
+        prop_assert!(scaled.lower_bound <= scaled.congestion * (1.0 + 1e-9));
+        prop_assert!(scaled.lower_bound > 0.0);
+    }
+}
+
+/// Regression for the absolute-threshold convergence bug: before the
+/// solver normalized demands internally, an extreme demand scale pushed
+/// the softmax temperature `beta ~ 1 / (eps * max_load)` outside f64
+/// range (overflow to `inf` for subnormal loads), turning the dual
+/// weights into NaN — the solve finished with a zero lower bound and an
+/// infinite "certified" gap. With internal normalization every tolerance
+/// is relative to demand size, so the same instance stays certified and
+/// exactly linear at any positive scale.
+#[test]
+fn extreme_demand_scales_stay_certified_and_linear() {
+    let g = generators::ring(6);
+    let d = Demand::from_pairs(&[(0, 3), (1, 4)]);
+    let opts = SolveOptions {
+        eps: 0.05,
+        max_iters: 2000,
+    };
+    let base = min_congestion_unrestricted(&g, &d, &opts);
+    assert!(base.gap() <= 1.06, "base gap {}", base.gap());
+    for c in [1e-310, 1e-150, 1e150, 1e300] {
+        let sol = min_congestion_unrestricted(&g, &d.scaled(c), &opts);
+        assert!(sol.congestion.is_finite(), "scale {c}: NaN/inf congestion");
+        assert!(
+            sol.gap().is_finite() && sol.gap() <= 1.06,
+            "scale {c}: uncertified gap {}",
+            sol.gap()
+        );
+        let rel = sol.congestion / (c * base.congestion);
+        assert!((rel - 1.0).abs() < 0.06, "scale {c}: nonlinear by {rel}");
+    }
+}

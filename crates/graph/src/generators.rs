@@ -182,6 +182,20 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
 /// Returns the graph and the point positions (used by `ssor-te` for
 /// plotting/latency). Stitched to be connected.
 pub fn waxman<R: Rng + ?Sized>(n: usize, a: f64, b: f64, rng: &mut R) -> (Graph, Vec<(f64, f64)>) {
+    let (mut g, pts) = waxman_raw(n, a, b, rng);
+    connect_components(&mut g, rng);
+    (g, pts)
+}
+
+/// The *raw* Waxman draw: like [`waxman`] but without the connectivity
+/// stitch, so the result is a faithful sample from the Waxman model and
+/// **may be disconnected** (isolated routers are likely for small `a`).
+pub fn waxman_raw<R: Rng + ?Sized>(
+    n: usize,
+    a: f64,
+    b: f64,
+    rng: &mut R,
+) -> (Graph, Vec<(f64, f64)>) {
     let pts: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();
@@ -195,8 +209,57 @@ pub fn waxman<R: Rng + ?Sized>(n: usize, a: f64, b: f64, rng: &mut R) -> (Graph,
             }
         }
     }
-    connect_components(&mut g, rng);
     (g, pts)
+}
+
+/// SplitMix64 finalizer: the workspace's one seed-derivation primitive
+/// (decorrelating per-pair sampling streams, retry seeds, failure-trial
+/// seeds). When combining several indices into one seed, *nest* calls
+/// (`mix_seed(mix_seed(a) ^ b)`) rather than XOR-ing two finalized
+/// values — `mix_seed(a) ^ mix_seed(b)` is symmetric in `a` and `b` and
+/// collides whenever the indices swap or coincide.
+pub fn mix_seed(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A *connected* Waxman draw with deterministic, bounded retries: raw
+/// draws are taken from seeds derived from `seed` (attempt `k` uses a
+/// SplitMix64-mixed `seed ⊕ k` stream) until one is connected. If all
+/// `max_attempts` draws are disconnected, the final fallback re-draws
+/// from `seed` with the [`waxman`] connectivity stitch, so the function
+/// always returns a connected graph.
+///
+/// Returns `(graph, positions, attempts)` where `attempts` is the number
+/// of raw draws that were *rejected* (0 means the first draw was already
+/// connected; `max_attempts` means the stitched fallback fired). The
+/// whole procedure is a pure function of `(n, a, b, seed)`.
+///
+/// # Panics
+///
+/// Panics if `max_attempts == 0`.
+pub fn waxman_connected(
+    n: usize,
+    a: f64,
+    b: f64,
+    seed: u64,
+    max_attempts: usize,
+) -> (Graph, Vec<(f64, f64)>, usize) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(max_attempts >= 1, "need at least one attempt");
+    for attempt in 0..max_attempts {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed ^ mix_seed(attempt as u64)));
+        let (g, pts) = waxman_raw(n, a, b, &mut rng);
+        if g.is_connected() {
+            return (g, pts, attempt);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(mix_seed(seed ^ mix_seed(0)));
+    let (g, pts) = waxman(n, a, b, &mut rng);
+    (g, pts, max_attempts)
 }
 
 /// The two-cliques example of Section 2.1: two `size`-cliques joined by
@@ -239,6 +302,42 @@ pub fn fat_tree(depth: u32) -> Graph {
         let mult = 1u32 << (depth - d_node);
         for _ in 0..mult.max(1) {
             g.add_edge(parent as VertexId, node as VertexId);
+        }
+    }
+    g
+}
+
+/// Two-tier leaf–spine Clos fabric: every leaf switch connects to every
+/// spine switch with `uplink_mult` parallel edges (the fattened core),
+/// and `hosts_per_leaf` hosts hang off each leaf with single edges.
+///
+/// Vertex layout: spines `0..spines`, leaves `spines..spines + leaves`,
+/// then hosts in leaf order. Any single spine (or any single uplink) can
+/// fail without disconnecting the fabric when `spines >= 2` — the
+/// topology failure sweeps exercise.
+///
+/// # Examples
+///
+/// ```
+/// let g = ssor_graph::generators::leaf_spine(4, 6, 2, 1);
+/// assert_eq!(g.n(), 4 + 6 + 12);
+/// assert_eq!(g.m(), 4 * 6 + 12);
+/// assert!(g.is_connected());
+/// ```
+pub fn leaf_spine(spines: usize, leaves: usize, hosts_per_leaf: usize, uplink_mult: u32) -> Graph {
+    assert!(spines >= 1 && leaves >= 1 && uplink_mult >= 1);
+    let n = spines + leaves + leaves * hosts_per_leaf;
+    let mut g = Graph::new(n);
+    for leaf in 0..leaves {
+        let leaf_v = (spines + leaf) as VertexId;
+        for spine in 0..spines {
+            for _ in 0..uplink_mult {
+                g.add_edge(spine as VertexId, leaf_v);
+            }
+        }
+        for h in 0..hosts_per_leaf {
+            let host_v = (spines + leaves + leaf * hosts_per_leaf + h) as VertexId;
+            g.add_edge(leaf_v, host_v);
         }
     }
     g
@@ -388,7 +487,7 @@ mod tests {
     }
 
     #[test]
-    fn waxman_connected() {
+    fn waxman_stitched_is_connected() {
         let mut rng = StdRng::seed_from_u64(11);
         let (g, pts) = waxman(30, 0.4, 0.2, &mut rng);
         assert!(g.is_connected());
@@ -412,6 +511,62 @@ mod tests {
         assert_eq!(g.edges_between(0, 1).len(), 4);
         // Leaf edges have multiplicity 1.
         assert_eq!(g.edges_between(3, 7).len(), 1);
+    }
+
+    #[test]
+    fn waxman_raw_matches_model_and_can_disconnect() {
+        // With a = 0 the raw draw has no edges at all (disconnected for
+        // n >= 2), while the stitched variant still connects.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (raw, pts) = waxman_raw(8, 0.0, 0.2, &mut rng);
+        assert_eq!(raw.m(), 0);
+        assert!(!raw.is_connected());
+        assert_eq!(pts.len(), 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (stitched, _) = waxman(8, 0.0, 0.2, &mut rng);
+        assert!(stitched.is_connected());
+    }
+
+    #[test]
+    fn waxman_connected_is_deterministic_and_connected() {
+        for seed in 0..8u64 {
+            let (g1, _, att1) = waxman_connected(16, 0.4, 0.25, seed, 16);
+            let (g2, _, att2) = waxman_connected(16, 0.4, 0.25, seed, 16);
+            assert!(g1.is_connected(), "seed {seed}");
+            assert_eq!(att1, att2);
+            assert_eq!(
+                g1.edges().collect::<Vec<_>>(),
+                g2.edges().collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn waxman_connected_falls_back_to_stitching() {
+        // a = 0 can never draw a connected raw graph; the bounded retry
+        // must exhaust and fall back to the stitched draw.
+        let (g, _, attempts) = waxman_connected(6, 0.0, 0.2, 3, 4);
+        assert_eq!(attempts, 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn leaf_spine_shape_and_resilience() {
+        let g = leaf_spine(3, 4, 2, 2);
+        assert_eq!(g.n(), 3 + 4 + 8);
+        assert_eq!(g.m(), 2 * 3 * 4 + 8);
+        assert!(g.is_connected());
+        // Leaf 0 reaches every spine with multiplicity 2.
+        assert_eq!(g.edges_between(3, 0).len(), 2);
+        // Any one spine can die: hosts still reach each other through the
+        // other spines.
+        let mut sub = g.sub_topology();
+        sub.fail_vertex(0);
+        assert!(
+            sub.reaches((3 + 4) as VertexId, (3 + 4 + 7) as VertexId),
+            "hosts survive a spine failure"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   representation), with deterministic [`EdgeLoads::par_merge`];
 //! * [`Csr`] — flattened adjacency for repeated traversals, accepted by
 //!   the [`shortest_path`] tree builders via the [`Adjacency`] trait;
+//! * [`SubTopology`] — failure-masked view over a CSR: `O(1)` edge/vertex
+//!   knockouts with stable edge ids and no graph rebuild;
 //! * [`generators`] — hypercubes, grids, tori, expanders, Waxman WANs, the
 //!   two-cliques bridge example, and friends;
 //! * [`shortest_path`] — BFS and Dijkstra trees;
@@ -50,9 +52,11 @@ pub mod maxflow;
 mod path;
 pub mod shortest_path;
 mod store;
+mod subtopology;
 
 pub use csr::{Adjacency, Csr};
 pub use graph::{Arc, EdgeId, Graph, VertexId};
 pub use load::EdgeLoads;
 pub use path::Path;
 pub use store::{PathId, PathStore};
+pub use subtopology::SubTopology;

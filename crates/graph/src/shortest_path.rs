@@ -196,6 +196,30 @@ pub fn dijkstra_tree_csr(g: &Csr, s: VertexId, len: &dyn Fn(EdgeId) -> f64) -> S
     dijkstra_tree_in(g, s, len)
 }
 
+/// [`dijkstra_tree_csr`] restricted to the edges marked usable in
+/// `usable` (indexed by edge id) — the traversal the failure scenarios
+/// run against a [`crate::SubTopology`] mask without rebuilding a graph.
+///
+/// Dead edges are treated as infinitely long: a relaxation through one
+/// can never improve a distance, so they are effectively absent while
+/// edge ids, traversal order, and tie-breaking stay identical to the
+/// unmasked sweep. Vertices cut off by the mask end with
+/// `dist == f64::INFINITY`, exactly like genuinely unreachable ones.
+pub fn dijkstra_tree_csr_masked(
+    g: &Csr,
+    s: VertexId,
+    len: &dyn Fn(EdgeId) -> f64,
+    usable: &[bool],
+) -> SpTree {
+    dijkstra_tree_in(g, s, &|e| {
+        if usable[e as usize] {
+            len(e)
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
 /// Shortest path between `s` and `t` under per-edge lengths.
 pub fn dijkstra_path(
     g: &Graph,

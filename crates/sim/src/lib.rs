@@ -73,6 +73,25 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// The same configuration with a different seed — dynamic-scenario
+    /// stages derive one seed per stream step so repeated simulations do
+    /// not share `RandomRank` priorities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let cfg = ssor_sim::SimConfig::default().with_seed(7);
+    /// assert_eq!(cfg.seed, 7);
+    /// ```
+    pub fn with_seed(&self, seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {

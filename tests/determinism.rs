@@ -15,7 +15,7 @@
 //! re-runs every other test off the single-thread default.
 
 use ssor::core::PathSystem;
-use ssor::engine::{PathSystemCache, Pipeline, ScenarioSpec};
+use ssor::engine::{DynamicReport, PathSystemCache, Pipeline, ScenarioSpec, StreamModel};
 use ssor::flow::SolveOptions;
 
 /// One full pipeline execution at a pinned thread count: sampled path
@@ -84,4 +84,72 @@ fn engine_results_are_thread_count_invariant() {
     .solve_options(SolveOptions::with_eps(0.15))
     .without_opt();
     assert_invariant(&gravity, "gravity-wan");
+}
+
+/// A dynamic scenario reduced to comparable bits: per-record congestion
+/// bit patterns plus the structural fields that must not drift.
+fn run_dynamic_at(threads: usize, scenario: &ScenarioSpec) -> Vec<(u64, usize, Vec<u32>)> {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    assert_eq!(
+        rayon::current_num_threads(),
+        threads,
+        "worker-count override not honored; thread sweep would be vacuous"
+    );
+    let cache = PathSystemCache::new();
+    let report = scenario
+        .run_dynamic(&cache)
+        .expect("dynamic scenario expected");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    match report {
+        DynamicReport::Stream(r) => r
+            .steps
+            .iter()
+            .map(|s| (s.congestion.to_bits(), s.iterations, Vec::new()))
+            .collect(),
+        DynamicReport::Failures(r) => r
+            .trials
+            .iter()
+            .map(|t| {
+                (
+                    t.congestion.unwrap_or(0.0).to_bits(),
+                    t.iterations,
+                    t.failed_edges.clone(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// The warm-started stream and the failure sweep are sequential chains
+/// of solves, but every solve inside them crosses the rayon-parallel
+/// load accumulation — their outputs must still be bit-identical at any
+/// worker count.
+#[test]
+fn dynamic_scenarios_are_thread_count_invariant() {
+    let sweep = ScenarioSpec::FailureSweep {
+        base: Box::new(ScenarioSpec::HypercubeAdversarial { dim: 4 }),
+        k_failures: 3,
+        trials: 3,
+    };
+    let stream = ScenarioSpec::DemandStream {
+        base: Box::new(ScenarioSpec::GravityWan {
+            n: 20,
+            total: 25.0.into(),
+            seed: 7,
+        }),
+        steps: 6,
+        model: StreamModel::DiurnalGravity {
+            total: 25.0.into(),
+            period: 6,
+            seed: 4,
+        },
+    };
+    for (scenario, label) in [(sweep, "failure-sweep"), (stream, "demand-stream")] {
+        let base = run_dynamic_at(1, &scenario);
+        assert!(!base.is_empty(), "{label}: empty report");
+        for threads in [2usize, 8] {
+            let got = run_dynamic_at(threads, &scenario);
+            assert_eq!(base, got, "{label}: records differ at {threads} threads");
+        }
+    }
 }
