@@ -13,8 +13,8 @@ use ssor_core::sample::{all_pairs, alpha_sample};
 use ssor_core::weak::{sample_multiset, weak_route};
 use ssor_engine::sampling::par_alpha_sample;
 use ssor_engine::{DemandSpec, PathSystemCache, Pipeline, StreamModel, TemplateSpec, TopologySpec};
-use ssor_flow::mincong::{min_congestion_restricted, min_congestion_unrestricted, SolveOptions};
 use ssor_flow::rounding::round_routing;
+use ssor_flow::solver::{min_congestion_restricted, min_congestion_unrestricted, SolveOptions};
 use ssor_flow::Demand;
 use ssor_graph::maxflow::min_cut_value;
 use ssor_graph::{generators, Path};
@@ -188,11 +188,12 @@ fn bench_stream() {
     let warm = pipeline.stream(&cache, 20, &model);
     let cold = pipeline.stream_cold(&cache, 20, &model);
     println!(
-        "{:>16} / iterations: warm {} vs cold {} ({:.2}x fewer)",
+        "{:>16} / iterations: warm {} vs cold {} ({:.2}x fewer), all converged: {}",
         "stream",
         warm.total_iterations(),
         cold.total_iterations(),
-        cold.total_iterations() as f64 / warm.total_iterations().max(1) as f64
+        cold.total_iterations() as f64 / warm.total_iterations().max(1) as f64,
+        warm.all_converged() && cold.all_converged(),
     );
 }
 
@@ -210,6 +211,36 @@ fn bench_solvers() {
     bench("solvers", "offline_opt_grid5x5_perm", 10, || {
         min_congestion_unrestricted(&grid, &dperm, &opts)
     });
+    // The parallel-oracle showcase: a 64-source permutation on a Q6, so
+    // every Frank–Wolfe iteration fans 64 Dijkstra trees out over the
+    // rayon workers (the restricted/grid cases above are too small to
+    // leave the serial cutoff). Multi-thread runs should beat 1-thread
+    // here while producing bit-identical numbers.
+    let q6 = generators::hypercube(6);
+    let dbig = Demand::random_permutation(64, &mut rng);
+    bench("solvers", "offline_opt_hypercube6_perm64", 5, || {
+        min_congestion_unrestricted(&q6, &dbig, &opts)
+    });
+    let mut sub = q6.sub_topology();
+    for e in [3u32, 31, 77, 120] {
+        sub.fail_edge(e);
+    }
+    let usable = sub.usable_edges();
+    bench("solvers", "masked_opt_hypercube6_perm64_k4", 5, || {
+        ssor_flow::solver::min_congestion_masked(&q6, &dbig, &usable, &opts)
+    });
+    // Oracle share of the solver's wall-clock (bounds the parallel
+    // speedup): report once so regressions are visible in bench logs.
+    let sol = min_congestion_unrestricted(&q6, &dbig, &opts);
+    println!(
+        "{:>16} / oracle share: {:.0}% of {:?} ({} oracle calls, {} iters, converged: {})",
+        "solvers",
+        sol.stats.oracle_share() * 100.0,
+        sol.stats.total_wall,
+        sol.stats.oracle_calls,
+        sol.iterations,
+        sol.converged,
+    );
 }
 
 fn bench_rounding_and_sim() {

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use serde::Serialize;
 use ssor_bench::{banner, fx, geomean, Table};
 use ssor_core::{sample, SemiObliviousRouter};
-use ssor_flow::mincong::min_congestion_unrestricted;
+use ssor_flow::solver::min_congestion_unrestricted;
 use ssor_flow::{Demand, SolveOptions};
 use ssor_graph::{generators, Graph};
 use ssor_oblivious::frt::sample_tree_routings;

@@ -12,7 +12,7 @@ use serde::Serialize;
 use ssor_bench::{banner, f3, Table};
 use ssor_core::sample::alpha_sample;
 use ssor_flow::lp::exact_restricted_congestion;
-use ssor_flow::mincong::{min_congestion_restricted, SolveOptions};
+use ssor_flow::solver::{min_congestion_restricted, SolveOptions};
 use ssor_flow::Demand;
 use ssor_oblivious::{ObliviousRouting, ValiantRouting};
 
@@ -22,6 +22,10 @@ struct Row {
     congestion: f64,
     certified_gap: f64,
     iterations: usize,
+    converged: bool,
+    oracle_calls: usize,
+    oracle_share: f64,
+    stages: usize,
 }
 
 fn main() {
@@ -37,7 +41,16 @@ fn main() {
     let ps = alpha_sample(&valiant, &d.support(), 4, &mut rng);
     println!("instance: hypercube n = 32, bit-reversal demand, α = 4 sample\n");
 
-    let mut table = Table::new(&["eps", "congestion", "certified gap", "iterations"]);
+    let mut table = Table::new(&[
+        "eps",
+        "congestion",
+        "certified gap",
+        "iterations",
+        "converged",
+        "oracle calls",
+        "oracle share",
+        "stages",
+    ]);
     let mut rows = Vec::new();
     for eps in [0.5f64, 0.2, 0.1, 0.05, 0.02, 0.01] {
         let sol = min_congestion_restricted(
@@ -49,17 +62,30 @@ fn main() {
                 max_iters: 20_000,
             },
         );
+        // The stats make the solver's cost structure visible: how many
+        // oracle batches ran, what share of the wall-clock they took
+        // (the parallelizable part), and how the staged smoothing
+        // progressed.
+        let stats = &sol.stats;
         table.row(&[
             f3(eps),
             f3(sol.congestion),
             f3(sol.gap()),
             sol.iterations.to_string(),
+            sol.converged.to_string(),
+            stats.oracle_calls.to_string(),
+            format!("{:.0}%", stats.oracle_share() * 100.0),
+            stats.stages.len().to_string(),
         ]);
         rows.push(Row {
             eps,
             congestion: sol.congestion,
             certified_gap: sol.gap(),
             iterations: sol.iterations,
+            converged: sol.converged,
+            oracle_calls: stats.oracle_calls,
+            oracle_share: stats.oracle_share(),
+            stages: stats.stages.len(),
         });
     }
     table.print();

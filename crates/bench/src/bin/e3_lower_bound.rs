@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use serde::Serialize;
 use ssor_bench::{banner, f3, Table};
 use ssor_core::PathSystem;
-use ssor_flow::mincong::{min_congestion_restricted, SolveOptions};
+use ssor_flow::solver::{min_congestion_restricted, SolveOptions};
 use ssor_graph::{Graph, Path};
 use ssor_lowerbound::{
     c_graph, certify_hitting, find_adversarial_demand, g_graph, k_for_alpha, optimal_witness,
@@ -95,7 +95,16 @@ fn main() {
         let measured = if adv.demand.is_empty() {
             0.0
         } else {
-            min_congestion_restricted(&g, &adv.demand, ps.candidates(), &opts).congestion
+            let sol = min_congestion_restricted(&g, &adv.demand, ps.candidates(), &opts);
+            // The certification below is only meaningful if the whole
+            // adversarial demand was actually routed — stranded mass
+            // would silently deflate the measured congestion.
+            assert_eq!(
+                sol.stranded, 0.0,
+                "path system misses adversarial pairs {:?}",
+                sol.dropped_pairs
+            );
+            sol.congestion
         };
         let witness = optimal_witness(&g, &meta, &adv.demand);
         let opt = witness.congestion(&g);

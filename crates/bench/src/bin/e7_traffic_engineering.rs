@@ -135,7 +135,7 @@ fn main() {
             .iter()
             .map(|d| {
                 let cong = raecke.congestion(d);
-                let opt = ssor_flow::mincong::min_congestion_unrestricted(&wan.graph, d, &opts);
+                let opt = ssor_flow::solver::min_congestion_unrestricted(&wan.graph, d, &opts);
                 cong / opt.lower_bound.max(f64::MIN_POSITIVE)
             })
             .collect();

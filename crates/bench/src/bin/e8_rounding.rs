@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use ssor_bench::{banner, f3, Table};
-use ssor_flow::mincong::{min_congestion_unrestricted, SolveOptions};
 use ssor_flow::rounding::round_routing;
+use ssor_flow::solver::{min_congestion_unrestricted, SolveOptions};
 use ssor_flow::Demand;
 use ssor_graph::generators;
 

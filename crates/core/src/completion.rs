@@ -11,7 +11,7 @@
 use crate::path_system::PathSystem;
 use crate::sample::alpha_sample;
 use rand::Rng;
-use ssor_flow::mincong::{min_congestion_restricted, SolveOptions};
+use ssor_flow::solver::{min_congestion_restricted, SolveOptions};
 use ssor_flow::{Demand, Routing};
 use ssor_graph::{Graph, VertexId};
 use ssor_oblivious::{HopConstrainedRouting, HopOptions};
@@ -150,6 +150,15 @@ impl CompletionTimeRouter {
         let mut best: Option<CompletionRoute> = None;
         for (i, ps) in self.per_scale.iter().enumerate() {
             let sol = min_congestion_restricted(&self.graph, d, ps.candidates(), opts);
+            // A scale that strands demand would win the objective
+            // precisely because it fails to route traffic — enforce the
+            // documented coverage contract instead.
+            assert!(
+                sol.stranded == 0.0,
+                "scale {i} misses coverage: {} mass stranded on pairs {:?}",
+                sol.stranded,
+                sol.dropped_pairs
+            );
             let dil = sol.routing.dilation(d);
             let cand = CompletionRoute {
                 congestion: sol.congestion,

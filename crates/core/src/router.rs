@@ -9,10 +9,10 @@
 
 use crate::path_system::PathSystem;
 use rand::Rng;
-use ssor_flow::mincong::{
+use ssor_flow::rounding::{round_routing, RoundingOutcome};
+use ssor_flow::solver::{
     min_congestion_restricted, min_congestion_unrestricted, MinCongSolution, SolveOptions,
 };
-use ssor_flow::rounding::{round_routing, RoundingOutcome};
 use ssor_flow::Demand;
 use ssor_graph::Graph;
 
@@ -89,9 +89,21 @@ impl SemiObliviousRouter {
     ///
     /// # Panics
     ///
-    /// Panics if the path system does not cover the demand's support.
+    /// Panics if the path system does not cover the demand's support: a
+    /// partially-routed solution would be compared against the OPT of
+    /// the *full* demand downstream, silently inflating every
+    /// competitive ratio. Callers that expect missing coverage (failure
+    /// drills) restrict the demand first and use the solver's stranded
+    /// reporting instead.
     pub fn route_fractional(&self, d: &Demand, opts: &SolveOptions) -> MinCongSolution {
-        min_congestion_restricted(&self.graph, d, self.paths.candidates(), opts)
+        let sol = min_congestion_restricted(&self.graph, d, self.paths.candidates(), opts);
+        assert!(
+            sol.stranded == 0.0,
+            "path system does not cover the demand: {} mass stranded on pairs {:?}",
+            sol.stranded,
+            sol.dropped_pairs
+        );
+        sol
     }
 
     /// Stage 4 (integral): route, then round with Lemma 6.3 plus local

@@ -17,11 +17,12 @@ use rayon::prelude::*;
 use ssor_core::completion::{CompletionOptions, CompletionTimeRouter, ScaleGrowth};
 use ssor_core::sample::all_pairs;
 use ssor_core::{PathSystem, SemiObliviousRouter};
-use ssor_flow::mincong::{
-    min_congestion_masked, min_congestion_restricted, min_congestion_unrestricted, CandidateOracle,
-};
+use ssor_flow::oracle::CandidateOracle;
 use ssor_flow::rounding::round_routing;
-use ssor_flow::warm::{DemandDelta, Solution as WarmSolution};
+use ssor_flow::solver::{
+    min_congestion_masked, min_congestion_restricted, min_congestion_unrestricted, DemandDelta,
+    Solver,
+};
 use ssor_flow::{Demand, SolveOptions};
 use ssor_graph::{EdgeId, Graph, SubTopology};
 use ssor_lowerbound::graphs::CGraphMeta;
@@ -91,6 +92,12 @@ pub struct EvalRecord {
     pub ratio: Option<f64>,
     /// Makespan of the packet simulation, when stage 5 ran.
     pub makespan: Option<usize>,
+    /// Whether the stage-4 solve certified its target gap (`None` under
+    /// [`Objective::CompletionTime`], which aggregates many solves).
+    pub converged: Option<bool>,
+    /// Where the stage-4 solve spent its work (`None` under
+    /// [`Objective::CompletionTime`]).
+    pub stats: Option<ssor_flow::SolverStats>,
 }
 
 impl EvalRecord {
@@ -103,7 +110,7 @@ impl EvalRecord {
     /// let rec = EvalRecord {
     ///     name: "x".into(), alpha: 2, congestion: 1.5, dilation: 3,
     ///     opt_lower_bound: None, opt_upper_bound: None, ratio: None,
-    ///     makespan: None,
+    ///     makespan: None, converged: None, stats: None,
     /// };
     /// assert_eq!(rec.objective(), 4.5);
     /// ```
@@ -575,7 +582,7 @@ impl Pipeline {
         let g = prepared.graph();
         let demands = model.sequence(g.n(), steps);
         let start = Instant::now();
-        let mut warm_sol = WarmSolution::new(g);
+        let mut warm_sol = Solver::new(g);
         let mut records = Vec::with_capacity(steps);
         for (step, d) in demands.into_iter().enumerate() {
             let sol = if warm {
@@ -609,6 +616,7 @@ impl Pipeline {
                 congestion: sol.congestion,
                 lower_bound: sol.lower_bound,
                 iterations: sol.iterations,
+                converged: sol.converged,
                 cold_congestion: cold.as_ref().map(|c| c.congestion),
                 cold_iterations: cold.as_ref().map(|c| c.iterations),
                 vs_cold,
@@ -672,13 +680,13 @@ impl Pipeline {
             .iter()
             .map(|(name, spec)| (name.clone(), prepared.resolve(spec)))
             .collect();
-        // One warm base solution per demand on the intact topology; every
+        // One warm base solver per demand on the intact topology; every
         // trial clones it, invalidates the dead edges, and re-solves.
-        let base_warm: Vec<WarmSolution> = demands
+        let base_warm: Vec<Solver> = demands
             .iter()
             .map(|(_, d)| {
                 let mut oracle = CandidateOracle::new(prepared.paths().candidates());
-                WarmSolution::solve(g, d, &mut oracle, &self.solve)
+                Solver::solve(g, d, &mut oracle, &self.solve)
             })
             .collect();
         let mut sub = g.sub_topology();
@@ -697,6 +705,11 @@ impl Pipeline {
                 } else {
                     covered.support_len() as f64 / d.support_len() as f64
                 };
+                // Demand mass with no surviving candidate path; solves
+                // below may add to it (a pair the mask itself
+                // disconnects is dropped by the solver and reported
+                // rather than panicking mid-trial).
+                let mut stranded = d.size() - covered.size();
                 let (congestion, iterations, cold_congestion) = if covered.is_empty() {
                     (None, 0, None)
                 } else {
@@ -709,6 +722,7 @@ impl Pipeline {
                         &mut oracle,
                         &self.solve,
                     );
+                    stranded += sol.stranded;
                     // The cold restricted baseline is a quality oracle
                     // like the stream's — skipped under `without_opt`.
                     let cold = self.compute_opt.then(|| {
@@ -717,11 +731,16 @@ impl Pipeline {
                     });
                     (Some(sol.congestion), sol.iterations, cold)
                 };
-                // Covered pairs always stay reachable (their surviving
-                // candidate path lies inside the mask), so the masked
-                // solve cannot hit a disconnection panic.
-                let opt_lower_bound = (self.compute_opt && !covered.is_empty())
-                    .then(|| min_congestion_masked(g, &covered, &usable, &self.solve).lower_bound);
+                // Covered pairs stay reachable through the mask (their
+                // surviving candidate path lies inside it), so the
+                // masked OPT normally strands nothing; if a draw that
+                // exhausted its connectivity retries ever does, the
+                // mass lands in `stranded` instead of aborting.
+                let opt_lower_bound = (self.compute_opt && !covered.is_empty()).then(|| {
+                    let opt = min_congestion_masked(g, &covered, &usable, &self.solve);
+                    stranded += opt.stranded;
+                    opt.lower_bound
+                });
                 let ratio = match (congestion, opt_lower_bound) {
                     (Some(c), Some(lb)) => Some(c / lb.max(f64::MIN_POSITIVE)),
                     _ => None,
@@ -732,6 +751,7 @@ impl Pipeline {
                     failed_edges: dead.clone(),
                     attempts,
                     coverage,
+                    stranded,
                     congestion,
                     iterations,
                     cold_congestion,
@@ -935,15 +955,23 @@ impl PreparedPipeline {
     pub fn evaluate(&self, cache: &PathSystemCache, name: &str, spec: &DemandSpec) -> EvalRecord {
         let d = self.resolve(spec);
         let opts = &self.pipeline.solve;
-        let (routing, congestion, dilation) = match &self.router {
+        let (routing, congestion, dilation, converged, stats) = match &self.router {
             PreparedRouter::Semi(router) => {
                 let sol = router.route_fractional(&d, opts);
                 let dil = sol.routing.dilation(&d);
-                (sol.routing, sol.congestion, dil)
+                (
+                    sol.routing,
+                    sol.congestion,
+                    dil,
+                    Some(sol.converged),
+                    Some(sol.stats),
+                )
             }
+            // The completion objective aggregates one solve per hop
+            // scale; a single converged/stats pair would misattribute.
             PreparedRouter::Completion(comp) => {
                 let route = comp.route(&d, opts);
-                (route.routing, route.congestion, route.dilation)
+                (route.routing, route.congestion, route.dilation, None, None)
             }
         };
 
@@ -986,6 +1014,8 @@ impl PreparedPipeline {
             opt_upper_bound: opt.map(|o| o.congestion),
             ratio,
             makespan,
+            converged,
+            stats,
         }
     }
 

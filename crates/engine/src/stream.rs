@@ -3,7 +3,7 @@
 //!
 //! A *stream* run routes a time-evolving demand sequence through the
 //! pipeline's fixed sampled path system with warm-started incremental
-//! solves (`ssor_flow::warm::Solution`), optionally checking every step
+//! solves (a kept `ssor_flow::Solver`), optionally checking every step
 //! against a cold-solve oracle of the same restricted problem. A
 //! *failure sweep* knocks random edge sets out through a
 //! `ssor_graph::SubTopology` mask, drops the candidate paths crossing
@@ -26,6 +26,9 @@ pub struct StreamStep {
     pub lower_bound: f64,
     /// Frank–Wolfe iterations the solve took.
     pub iterations: usize,
+    /// Whether the solve certified its target gap (see
+    /// `ssor_flow::MinCongSolution::converged`).
+    pub converged: bool,
     /// Congestion of the cold-solve oracle on the same step (absent when
     /// the baseline is disabled or this is itself a cold run).
     pub cold_congestion: Option<f64>,
@@ -58,6 +61,11 @@ impl StreamReport {
     /// Total cold-oracle iterations, if the baseline ran on every step.
     pub fn cold_total_iterations(&self) -> Option<usize> {
         self.steps.iter().map(|s| s.cold_iterations).sum()
+    }
+
+    /// Whether every step's solve certified its target gap.
+    pub fn all_converged(&self) -> bool {
+        self.steps.iter().all(|s| s.converged)
     }
 
     /// Worst (largest) per-step `vs_cold` ratio; `None` without a
@@ -97,6 +105,11 @@ pub struct FailureTrial {
     /// Fraction of the demand's pairs with at least one surviving
     /// candidate path.
     pub coverage: f64,
+    /// Stranded demand *mass*: demand with no surviving candidate path,
+    /// plus anything the solves themselves had to drop as unroutable
+    /// (e.g. a pair the damage physically disconnected). The
+    /// mass-weighted complement of `coverage`.
+    pub stranded: f64,
     /// Congestion of the warm-started re-route on the covered
     /// sub-demand (`None` if nothing survived).
     pub congestion: Option<f64>,
@@ -137,6 +150,12 @@ impl FailureSweepReport {
             .iter()
             .filter_map(|t| t.ratio)
             .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// Total stranded demand mass across all records (0.0 when every
+    /// trial kept full coverage).
+    pub fn total_stranded(&self) -> f64 {
+        self.trials.iter().map(|t| t.stranded).sum()
     }
 }
 

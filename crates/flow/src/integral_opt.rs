@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn fractional_lower_bounds_integral() {
-        use crate::mincong::{min_congestion_unrestricted, SolveOptions};
+        use crate::solver::{min_congestion_unrestricted, SolveOptions};
         let g = generators::grid(3, 3);
         let d = Demand::from_pairs(&[(0, 8), (6, 2), (3, 5)]);
         let (int_opt, _) = integral_opt_exhaustive(&g, &d, 6).unwrap();

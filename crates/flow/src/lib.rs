@@ -11,13 +11,15 @@
 //! * [`Routing`] / [`IntegralRouting`] — per-pair path distributions with
 //!   congestion (`cong`) and dilation (`dil`) exactly as defined in the
 //!   paper;
-//! * [`mincong`] — Frank–Wolfe min-congestion solver with dual
-//!   certificates: restricted to a candidate path system (Stage-4 rate
-//!   adaptation), unrestricted (offline fractional OPT), and masked to a
-//!   failure-damaged subtopology (`min_congestion_masked`);
-//! * [`warm`] — warm-started incremental re-solves for demand streams and
-//!   failure drills ([`warm::Solution::resolve`] reuses the previous
-//!   flow instead of solving from scratch);
+//! * [`solver`] — the one staged-smoothing Frank–Wolfe min-congestion
+//!   core with dual certificates: cold one-shot entry points
+//!   ([`min_congestion_restricted`], [`min_congestion_unrestricted`],
+//!   [`min_congestion_masked`]) and the stateful [`Solver`] whose carried
+//!   per-pair distributions warm-start every [`Solver::resolve`];
+//! * [`oracle`] — the pluggable best-response layer the solver consumes:
+//!   candidate sets (Stage-4 rate adaptation) or all simple paths,
+//!   optionally failure-masked, with a rayon-parallel per-source Dijkstra
+//!   fan-out that is bit-identical at any thread count;
 //! * [`Candidates`] / [`CandidateSet`] — the interned candidate-path view
 //!   the restricted solver consumes (a `PathStore` arena plus per-pair
 //!   `PathId` lists);
@@ -29,12 +31,12 @@
 //! # Examples
 //!
 //! ```
-//! use ssor_flow::{mincong, Demand};
+//! use ssor_flow::{solver, Demand};
 //! use ssor_graph::generators;
 //!
 //! let g = generators::ring(6);
 //! let d = Demand::from_pairs(&[(0, 3)]);
-//! let sol = mincong::min_congestion_unrestricted(&g, &d, &Default::default());
+//! let sol = solver::min_congestion_unrestricted(&g, &d, &Default::default());
 //! // One unit across a 6-cycle splits over both sides: congestion 1/2.
 //! assert!((sol.congestion - 0.5).abs() < 0.05);
 //! ```
@@ -47,12 +49,16 @@ pub mod decompose;
 mod demand;
 pub mod integral_opt;
 pub mod lp;
-pub mod mincong;
+pub mod oracle;
 pub mod rounding;
 mod routing;
-pub mod warm;
+pub mod solver;
 
 pub use candidates::{CandidateSet, Candidates};
 pub use demand::Demand;
-pub use mincong::{MinCongSolution, SolveOptions};
+pub use oracle::{AllPathsOracle, CandidateOracle, PathOracle};
 pub use routing::{IntegralRouting, Routing, WeightedPath};
+pub use solver::{
+    min_congestion, min_congestion_masked, min_congestion_restricted, min_congestion_unrestricted,
+    DemandDelta, MinCongSolution, SolveOptions, Solver, SolverStats,
+};

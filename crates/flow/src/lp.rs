@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn exact_matches_frank_wolfe_on_random_small_instances() {
-        use crate::mincong::{min_congestion_restricted, SolveOptions};
+        use crate::solver::{min_congestion_restricted, SolveOptions};
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(23);

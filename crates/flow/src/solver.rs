@@ -1,0 +1,1343 @@
+//! The workspace's single min-congestion solver core.
+//!
+//! Two uses in the reproduction:
+//!
+//! 1. **Stage-4 rate adaptation** (Definition 5.1): given the sparse path
+//!    system `P` and the revealed demand, compute
+//!    `cong_R(P, d) = min_{R on P} cong(R, d)` — a packing LP over the
+//!    candidate paths.
+//! 2. **Offline OPT** (`opt_{G,R}(d)`, Section 4): the same LP over *all*
+//!    simple paths (optionally failure-masked), solved with a
+//!    shortest-path (column-generation) oracle.
+//!
+//! Everything is one staged-smoothing Frank–Wolfe loop on the softmax
+//! (log-sum-exp) smoothing of the max-congestion objective, driven by a
+//! pluggable [`PathOracle`] (see [`crate::oracle`]). What used to be
+//! separate entry points — restricted, unrestricted, failure-masked,
+//! warm-started — are all configurations of the one [`Solver`]:
+//!
+//! * the **oracle** picks the path space (candidate sets, all paths, all
+//!   paths under an edge mask);
+//! * the **carried state** picks cold vs warm: a fresh [`Solver`] solves
+//!   from the min-hop initialization, a kept one restarts every
+//!   [`Solver::resolve`] from the previous optimum ([`DemandDelta`]
+//!   describes how the demand moved);
+//! * [`SolveOptions`] picks the certified accuracy.
+//!
+//! The cold convenience wrappers ([`min_congestion`],
+//! [`min_congestion_restricted`], [`min_congestion_unrestricted`],
+//! [`min_congestion_masked`]) construct a one-shot `Solver` internally —
+//! there is no second loop.
+//!
+//! Every run produces a *dual certificate*: for any nonnegative edge
+//! weights `w`,
+//!
+//! ```text
+//! OPT >= sum_{s,t} d(s,t) * min_{p in paths(s,t)} w(p) / sum_e w_e ,
+//! ```
+//!
+//! because a congestion-λ routing satisfies
+//! `sum_e w_e * load_e <= λ * sum_e w_e` while every unit of demand pays
+//! at least the min-weight path. The solver reports the best such bound
+//! seen — and whether the target gap was actually certified
+//! ([`MinCongSolution::converged`]) — so callers can verify the
+//! optimality gap of every number we report. [`SolverStats`] additionally
+//! reports where the time went (oracle calls vs loop) and how the staged
+//! smoothing progressed.
+//!
+//! Pairs the oracle cannot route at all (a failure sweep can legitimately
+//! disconnect a demanded pair) are dropped at initialization and their
+//! demand mass reported as [`MinCongSolution::stranded`] instead of
+//! panicking mid-solve. The check runs where pairs enter the solve:
+//! carried warm state is assumed routable by the oracle it resolves
+//! against (see [`Solver::resolve`] for the exact contract).
+//!
+//! Internally the solver works on the workspace's shared representation
+//! layer: edge loads accumulate in a dense [`EdgeLoads`], and every
+//! discovered path is interned into the solver's [`PathStore`] so path
+//! identity is a `Copy`-able [`PathId`] comparison instead of an
+//! edge-vector scan. Owned [`Path`]s only appear at the boundary, in the
+//! returned [`Routing`].
+//!
+//! # Examples
+//!
+//! Warm-started incremental re-solves for a drifting demand:
+//!
+//! ```
+//! use ssor_flow::oracle::AllPathsOracle;
+//! use ssor_flow::solver::{DemandDelta, Solver};
+//! use ssor_flow::{Demand, SolveOptions};
+//! use ssor_graph::generators;
+//!
+//! let g = generators::ring(6);
+//! let opts = SolveOptions::with_eps(0.05);
+//! let mut oracle = AllPathsOracle::new(&g);
+//! let mut warm = Solver::new(&g);
+//! let d = Demand::from_pairs(&[(0, 3)]);
+//! let first = warm.resolve(&g, DemandDelta::Replace(d.clone()), &mut oracle, &opts);
+//! assert!((first.congestion - 0.5).abs() < 0.05, "splits both ways");
+//! // A 10% demand bump re-solves in very few iterations.
+//! let again = warm.resolve(&g, DemandDelta::Scale(1.1), &mut oracle, &opts);
+//! assert!((again.congestion - 0.55).abs() < 0.06);
+//! assert!(again.iterations <= first.iterations);
+//! ```
+
+use crate::candidates::Candidates;
+use crate::demand::Demand;
+use crate::oracle::{AllPathsOracle, CandidateOracle, PathOracle};
+use crate::routing::Routing;
+use ssor_graph::{EdgeId, EdgeLoads, Graph, Path, PathId, PathStore, VertexId};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Per-pair weights at or below this fraction of the pair's probability
+/// mass are dropped when a routing is materialized. Each pair's weights
+/// sum to 1 and the solver normalizes demands to unit size internally
+/// (see [`Solver::resolve`]), so this threshold — like every other solver
+/// tolerance — is *relative* to the demand's scale, never absolute flow.
+const WEIGHT_PRUNE: f64 = 1e-15;
+
+/// Line-search steps at or below this count as "no progress at the
+/// current smoothing". `gamma` is a convex-combination coefficient in
+/// `[0, 1]` — dimensionless — so the cutoff is scale-free by
+/// construction.
+const GAMMA_MIN: f64 = 1e-12;
+
+/// Options for the Frank–Wolfe solver.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Target multiplicative optimality gap (stop when `gap <= 1 + eps`).
+    pub eps: f64,
+    /// Hard cap on iterations. Solves that hit it come back with
+    /// `converged == false`.
+    pub max_iters: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            eps: 0.05,
+            max_iters: 600,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Preset with a custom gap target.
+    pub fn with_eps(eps: f64) -> Self {
+        SolveOptions {
+            eps,
+            ..Default::default()
+        }
+    }
+}
+
+/// Iterations spent at one smoothing stage (see [`SolverStats::stages`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageIters {
+    /// The stage's smoothing accuracy `eps` (softmax error budget as a
+    /// fraction of the current congestion).
+    pub eps: f64,
+    /// Frank–Wolfe iterations performed at this stage.
+    pub iterations: usize,
+}
+
+/// Where a solve spent its work: iteration counts per smoothing stage and
+/// the oracle's share of the wall-clock.
+///
+/// The oracle is the solver's embarrassingly parallel layer (the
+/// per-source Dijkstra fan-out in `AllPathsOracle`), so `oracle_share`
+/// bounds how much a multi-core run can gain — these numbers make solver
+/// speedups measurable instead of anecdotal (see the `a2_solver_ablation`
+/// bench bin).
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// Total Frank–Wolfe iterations.
+    pub iterations: usize,
+    /// Oracle batch calls (one per iteration plus one per cold/fresh
+    /// initialization).
+    pub oracle_calls: usize,
+    /// Wall-clock spent inside oracle calls.
+    pub oracle_wall: Duration,
+    /// Wall-clock of the whole solve.
+    pub total_wall: Duration,
+    /// Iterations per smoothing stage, in the order the stages ran;
+    /// `eps` only ever halves, so entries sharpen strictly.
+    pub stages: Vec<StageIters>,
+}
+
+impl SolverStats {
+    /// Fraction of the solve's wall-clock spent in the oracle
+    /// (`0.0` when the solve was too fast to measure).
+    pub fn oracle_share(&self) -> f64 {
+        let total = self.total_wall.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.oracle_wall.as_secs_f64() / total
+        }
+    }
+}
+
+/// Accumulates [`SolverStats`] across the init call and the loop.
+struct StatsAcc {
+    started: Instant,
+    oracle_calls: usize,
+    oracle_wall: Duration,
+    stages: Vec<StageIters>,
+}
+
+impl StatsAcc {
+    fn new() -> StatsAcc {
+        StatsAcc {
+            started: Instant::now(),
+            oracle_calls: 0,
+            oracle_wall: Duration::ZERO,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Times one oracle batch call.
+    fn time_oracle<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.oracle_wall += t0.elapsed();
+        self.oracle_calls += 1;
+        out
+    }
+
+    /// Counts one iteration at smoothing stage `eps`.
+    fn count_stage_iter(&mut self, eps: f64) {
+        match self.stages.last_mut() {
+            Some(last) if last.eps == eps => last.iterations += 1,
+            _ => self.stages.push(StageIters { eps, iterations: 1 }),
+        }
+    }
+
+    fn finish(self, iterations: usize) -> SolverStats {
+        SolverStats {
+            iterations,
+            oracle_calls: self.oracle_calls,
+            oracle_wall: self.oracle_wall,
+            total_wall: self.started.elapsed(),
+            stages: self.stages,
+        }
+    }
+}
+
+/// Result of a min-congestion solve.
+#[derive(Debug, Clone)]
+pub struct MinCongSolution {
+    /// The (fractional) routing achieving `congestion`.
+    pub routing: Routing,
+    /// Primal value: max edge load of `routing` on the demand.
+    pub congestion: f64,
+    /// Best dual lower bound on the optimum over the oracle's path space.
+    pub lower_bound: f64,
+    /// Frank–Wolfe iterations performed.
+    pub iterations: usize,
+    /// Whether the solve stopped because the certified gap reached
+    /// `1 + eps` (or the congestion was trivially zero). `false` means
+    /// the solve was iteration-capped or stalled at the accuracy floor —
+    /// the numbers are still valid bounds, but the target gap is not
+    /// certified.
+    pub converged: bool,
+    /// Demand mass of pairs the oracle could not route at all (no
+    /// candidate path, or disconnected through usable edges), in the
+    /// demand's original units. Such pairs are dropped from the solve —
+    /// `congestion` and `lower_bound` describe the routed remainder —
+    /// and listed in `dropped_pairs`.
+    pub stranded: f64,
+    /// The dropped pairs, in demand-support order (empty normally).
+    pub dropped_pairs: Vec<(VertexId, VertexId)>,
+    /// Where the solve spent its work.
+    pub stats: SolverStats,
+}
+
+/// Multiplicative gap `congestion / lower_bound` with the degenerate
+/// conventions shared by [`MinCongSolution::gap`] and [`Solver::gap`]:
+/// `1.0` when both are zero (trivially optimal), `inf` when only the
+/// bound is.
+fn gap_of(congestion: f64, lower_bound: f64) -> f64 {
+    if lower_bound <= 0.0 {
+        if congestion <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        congestion / lower_bound
+    }
+}
+
+impl MinCongSolution {
+    /// Multiplicative optimality gap `congestion / lower_bound`
+    /// (`1.0` means provably optimal; `inf` if the bound is zero).
+    pub fn gap(&self) -> f64 {
+        gap_of(self.congestion, self.lower_bound)
+    }
+}
+
+/// How the demand changes between two [`Solver::resolve`] calls.
+#[derive(Debug, Clone)]
+pub enum DemandDelta {
+    /// Replace the demand wholesale (the demand-stream case: each step
+    /// reveals a fresh traffic snapshot).
+    Replace(Demand),
+    /// Scale the current demand by a positive finite factor.
+    Scale(f64),
+    /// Set individual pair entries (`0` removes a pair), leaving the rest
+    /// of the demand untouched.
+    Set(Vec<((VertexId, VertexId), f64)>),
+}
+
+/// Per-pair convex combination over discovered paths (interned in the
+/// solver's shared [`PathStore`]; membership is an id scan, never an
+/// edge-vector comparison).
+struct PairState {
+    pair: (VertexId, VertexId),
+    /// The pair's demand, normalized by the total demand size.
+    demand: f64,
+    ids: Vec<PathId>,
+    weights: Vec<f64>,
+}
+
+impl PairState {
+    fn ensure(&mut self, id: PathId) -> usize {
+        if let Some(i) = self.ids.iter().position(|&x| x == id) {
+            i
+        } else {
+            self.ids.push(id);
+            self.weights.push(0.0);
+            self.ids.len() - 1
+        }
+    }
+}
+
+/// Softmax value `max + ln(sum exp(beta*(load - max)))/beta` of edge loads.
+fn softmax(loads: &[f64], beta: f64) -> f64 {
+    let mx = loads.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let s: f64 = loads.iter().map(|&l| ((l - mx) * beta).exp()).sum();
+    mx + s.ln() / beta
+}
+
+/// Materializes the per-pair convex combinations into a [`Routing`],
+/// dropping weights at or below [`WEIGHT_PRUNE`].
+fn assemble_routing(states: &[PairState], store: &PathStore) -> Routing {
+    let mut routing = Routing::new();
+    for st in states {
+        let dist: Vec<(Path, f64)> = st
+            .ids
+            .iter()
+            .zip(st.weights.iter())
+            .filter(|(_, w)| **w > WEIGHT_PRUNE)
+            .map(|(&id, &w)| (store.materialize(id), w))
+            .collect();
+        routing.set_distribution(st.pair.0, st.pair.1, dist);
+    }
+    routing
+}
+
+/// The workspace's one staged-smoothing Frank–Wolfe loop.
+///
+/// `states` holds the starting per-pair convex combinations (weights
+/// summing to 1 per pair, demands normalized to unit total size) and
+/// `loads` the matching edge-load accumulation. `stage_eps0` is the
+/// initial smoothing stage; every entry point starts coarse (0.5) — from
+/// a warm near-optimal start the no-progress line-search path cascades
+/// the smoothing to the accuracy floor in a few cheap iterations, so no
+/// special schedule is needed.
+///
+/// Every routed pair is reachable (the caller dropped stranded pairs at
+/// initialization), and reachability under the finite positive weights
+/// this loop produces is weight-independent — so an oracle `None` here
+/// is a contract violation and panics.
+///
+/// Returns the best dual lower bound seen (at unit demand scale), the
+/// number of iterations performed, and whether the target gap was
+/// certified.
+#[allow(clippy::too_many_arguments)]
+fn frank_wolfe(
+    m: usize,
+    states: &mut [PairState],
+    loads: &mut EdgeLoads,
+    store: &mut PathStore,
+    oracle: &mut dyn PathOracle,
+    opts: &SolveOptions,
+    stage_eps0: f64,
+    mut lower_bound: f64,
+    acc: &mut StatsAcc,
+) -> (f64, usize, bool) {
+    let pairs: Vec<(VertexId, VertexId)> = states.iter().map(|st| st.pair).collect();
+    let demands: Vec<f64> = states.iter().map(|st| st.demand).collect();
+
+    // Staged smoothing: start with a coarse softmax (fast global progress)
+    // and sharpen whenever the primal stalls, down to the target accuracy.
+    // A sharp softmax from the start makes Frank–Wolfe crawl: the gradient
+    // concentrates on the single most-congested edge and only one path
+    // shifts per iteration.
+    let eps_floor = (opts.eps * 0.25).min(0.5);
+    let mut stage_eps = stage_eps0.clamp(eps_floor, 0.5);
+    let mut stall = 0usize;
+    let mut prev_ub = f64::INFINITY;
+    let mut converged = false;
+
+    let mut loads_y = EdgeLoads::zeros(m);
+    let mut iterations = 0;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        let ub = loads.max();
+        if ub <= 0.0 {
+            converged = true;
+            break;
+        }
+        // Stall detection: sharpen the smoothing when the primal stops
+        // improving at the current stage.
+        if ub > prev_ub * 0.9995 {
+            stall += 1;
+            if stall >= 15 && stage_eps > eps_floor {
+                stage_eps *= 0.5;
+                stall = 0;
+            }
+        } else {
+            stall = 0;
+        }
+        prev_ub = ub;
+        acc.count_stage_iter(stage_eps);
+        // Smoothing: approximation error ln(m)/beta <= stage_eps/4 * ub.
+        let beta = (m as f64).ln().max(1.0) / (0.25 * stage_eps * ub);
+        // Softmax gradient weights (scaled to max 1 for numerical safety).
+        let mx = ub;
+        let w: Vec<f64> = loads.iter().map(|l| ((l - mx) * beta).exp()).collect();
+        let wsum: f64 = w.iter().sum();
+
+        // Best response under w.
+        let best = acc.time_oracle(|| oracle.best_paths(&pairs, &w, store));
+        let best: Vec<(PathId, f64)> = best
+            .into_iter()
+            .map(|r| r.expect("oracle lost a previously routed pair"))
+            .collect();
+
+        // Dual certificate from these weights.
+        let num: f64 = best
+            .iter()
+            .zip(demands.iter())
+            .map(|((_, c), dem)| c * dem)
+            .sum();
+        lower_bound = lower_bound.max(num / wsum);
+
+        if ub <= (1.0 + opts.eps) * lower_bound {
+            converged = true;
+            break;
+        }
+
+        // Loads of the pure best-response routing.
+        loads_y.clear();
+        for (&(id, _), dem) in best.iter().zip(demands.iter()) {
+            loads_y.add_path(store, id, *dem);
+        }
+
+        // Exact line search on the softmax potential (convex in gamma).
+        let phi = |gamma: f64| -> f64 {
+            let mixed: Vec<f64> = loads
+                .iter()
+                .zip(loads_y.iter())
+                .map(|(a, b)| (1.0 - gamma) * a + gamma * b)
+                .collect();
+            softmax(&mixed, beta)
+        };
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        for _ in 0..30 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if phi(m1) <= phi(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        let gamma = 0.5 * (lo + hi);
+        if gamma <= GAMMA_MIN {
+            // No progress along this direction at the current smoothing:
+            // sharpen if we can, otherwise we are done (without a
+            // certificate for the target gap).
+            if stage_eps > eps_floor {
+                stage_eps *= 0.5;
+                stall = 0;
+                continue;
+            }
+            break;
+        }
+
+        // Apply the update to per-pair weights and the aggregate loads.
+        for st in states.iter_mut() {
+            for wgt in st.weights.iter_mut() {
+                *wgt *= 1.0 - gamma;
+            }
+        }
+        for (st, &(id, _)) in states.iter_mut().zip(best.iter()) {
+            let i = st.ensure(id);
+            st.weights[i] += gamma;
+        }
+        for (a, b) in loads.as_mut_slice().iter_mut().zip(loads_y.as_slice()) {
+            *a = (1.0 - gamma) * *a + gamma * b;
+        }
+    }
+
+    (lower_bound, iterations, converged)
+}
+
+/// The min-congestion solver core, with warm-start state as data.
+///
+/// A `Solver` owns the interned [`PathStore`] arena plus, per pair ever
+/// routed, the convex combination over that pair's discovered paths
+/// (weights summing to 1). A fresh `Solver` solves cold (min-hop
+/// initialization); keeping it alive across [`Solver::resolve`] calls
+/// warm-starts every subsequent solve from the previous optimum — the
+/// demand-stream and failure-sweep runners in `ssor-engine` rely on
+/// this. Pairs that leave the demand keep their distribution: a pair
+/// that returns (bursty ON/OFF traffic) warm-starts too.
+///
+/// Link failures compose with warm starts through
+/// [`Solver::invalidate_edges`]: paths crossing dead edges are dropped
+/// from the carried state (per-pair mass renormalizes onto the
+/// survivors) before the next [`Solver::resolve`].
+#[derive(Debug, Clone)]
+pub struct Solver {
+    store: PathStore,
+    /// Per-pair `(path ids, weights)`; weights sum to 1 per pair.
+    choices: BTreeMap<(VertexId, VertexId), (Vec<PathId>, Vec<f64>)>,
+    demand: Demand,
+    m: usize,
+    congestion: f64,
+    lower_bound: f64,
+    iterations: usize,
+    converged: bool,
+    stranded: f64,
+}
+
+impl Solver {
+    /// An empty solver for graphs with `g.m()` edges (no demand routed
+    /// yet). The first [`Solver::resolve`] is a cold solve.
+    pub fn new(g: &Graph) -> Solver {
+        Solver {
+            store: PathStore::new(),
+            choices: BTreeMap::new(),
+            demand: Demand::new(),
+            m: g.m(),
+            congestion: 0.0,
+            lower_bound: 0.0,
+            iterations: 0,
+            converged: true,
+            stranded: 0.0,
+        }
+    }
+
+    /// Cold-solves `d` and returns the solver ready for incremental
+    /// re-solves (convenience over [`Solver::new`] + [`Solver::resolve`]).
+    pub fn solve(
+        g: &Graph,
+        d: &Demand,
+        oracle: &mut dyn PathOracle,
+        opts: &SolveOptions,
+    ) -> Solver {
+        let mut s = Solver::new(g);
+        s.resolve(g, DemandDelta::Replace(d.clone()), oracle, opts);
+        s
+    }
+
+    /// The demand of the last solve.
+    pub fn demand(&self) -> &Demand {
+        &self.demand
+    }
+
+    /// Congestion achieved by the last solve.
+    pub fn congestion(&self) -> f64 {
+        self.congestion
+    }
+
+    /// Certified dual lower bound of the last solve.
+    pub fn lower_bound(&self) -> f64 {
+        self.lower_bound
+    }
+
+    /// Frank–Wolfe iterations the last solve took.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the last solve certified its target gap (see
+    /// [`MinCongSolution::converged`]).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Demand mass the last solve dropped as unroutable (see
+    /// [`MinCongSolution::stranded`]).
+    pub fn stranded(&self) -> f64 {
+        self.stranded
+    }
+
+    /// Multiplicative optimality gap of the last solve (see
+    /// [`MinCongSolution::gap`]).
+    pub fn gap(&self) -> f64 {
+        gap_of(self.congestion, self.lower_bound)
+    }
+
+    /// Applies `delta` to the demand and re-solves, warm-starting from
+    /// the carried per-pair distributions. Pairs new to the demand are
+    /// initialized from the oracle's min-hop best response; pairs that
+    /// left contribute nothing but keep their state for a possible
+    /// return. Fresh pairs the oracle cannot route at all are dropped
+    /// and reported as stranded (see [`MinCongSolution::stranded`]) —
+    /// in failure drills, compare that mass against the coverage you
+    /// expected instead of aborting the sweep.
+    ///
+    /// Stranding applies at *initialization*: a pair with carried state
+    /// is assumed routable by this solve's oracle, because its state
+    /// was discovered through a compatible oracle (after failures, call
+    /// [`Solver::invalidate_edges`] first — pairs whose every carried
+    /// path died are cleared back to fresh and go through the stranding
+    /// check). Handing `resolve` an oracle that cannot route a pair
+    /// whose carried state you kept is a contract violation and panics
+    /// mid-solve rather than silently misreporting.
+    ///
+    /// When *no* demanded pair carries state (a cold solve), the min-hop
+    /// response additionally seeds the dual bound with the all-ones
+    /// weight certificate, exactly like the one-shot entry points — a
+    /// fresh `Solver` and [`min_congestion`] are the same computation,
+    /// bit for bit.
+    ///
+    /// Returns the full per-step solution (routing materialized at the
+    /// boundary, like the one-shot entry points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`DemandDelta::Scale`] factor is negative or
+    /// non-finite, if the demand size overflows `f64`, or if the oracle
+    /// cannot route a pair with carried state (see above).
+    pub fn resolve(
+        &mut self,
+        g: &Graph,
+        delta: DemandDelta,
+        oracle: &mut dyn PathOracle,
+        opts: &SolveOptions,
+    ) -> MinCongSolution {
+        let mut acc = StatsAcc::new();
+        match delta {
+            DemandDelta::Replace(d) => self.demand = d,
+            DemandDelta::Scale(c) => self.demand = self.demand.scaled(c),
+            DemandDelta::Set(entries) => {
+                for ((s, t), w) in entries {
+                    self.demand.set(s, t, w);
+                }
+            }
+        }
+        let pairs = self.demand.support();
+        if pairs.is_empty() {
+            return self.finish_trivial(0.0, Vec::new(), acc);
+        }
+        let scale = self.demand.size();
+        assert!(scale.is_finite(), "demand size must be finite, got {scale}");
+
+        // Build the per-pair states: carried distributions where we have
+        // them, oracle-initialized fresh states for new pairs.
+        let mut states: Vec<PairState> = Vec::with_capacity(pairs.len());
+        let mut fresh: Vec<usize> = Vec::new();
+        for &(s, t) in &pairs {
+            let demand = self.demand.get(s, t) / scale;
+            match self.choices.get(&(s, t)) {
+                Some((ids, weights)) if !ids.is_empty() => states.push(PairState {
+                    pair: (s, t),
+                    demand,
+                    ids: ids.clone(),
+                    weights: weights.clone(),
+                }),
+                _ => {
+                    fresh.push(states.len());
+                    states.push(PairState {
+                        pair: (s, t),
+                        demand,
+                        ids: Vec::new(),
+                        weights: Vec::new(),
+                    });
+                }
+            }
+        }
+        let cold = fresh.len() == states.len();
+        let mut ones_bound = 0.0;
+        if !fresh.is_empty() {
+            let ones = vec![1.0; self.m];
+            let fresh_pairs: Vec<(VertexId, VertexId)> =
+                fresh.iter().map(|&i| states[i].pair).collect();
+            let store = &mut self.store;
+            let first = acc.time_oracle(|| oracle.best_paths(&fresh_pairs, &ones, store));
+            for (&i, found) in fresh.iter().zip(first.iter()) {
+                if let Some((id, _)) = found {
+                    states[i].ids.push(*id);
+                    states[i].weights.push(1.0);
+                }
+            }
+            if cold {
+                // Dual bound from the all-ones weights, over the pairs
+                // actually routed.
+                let num: f64 = fresh
+                    .iter()
+                    .zip(first.iter())
+                    .filter_map(|(&i, found)| found.map(|(_, c)| c * states[i].demand))
+                    .sum();
+                ones_bound = num / self.m as f64;
+            }
+        }
+
+        // Drop the pairs the oracle could not route at all; their demand
+        // mass is reported as stranded rather than panicking mid-solve.
+        let mut stranded = 0.0;
+        let mut dropped_pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        states.retain(|st| {
+            if st.ids.is_empty() {
+                stranded += self.demand.get(st.pair.0, st.pair.1);
+                dropped_pairs.push(st.pair);
+                false
+            } else {
+                true
+            }
+        });
+        if states.is_empty() {
+            // Everything stranded: the LP over the (empty) routed
+            // remainder is trivially solved.
+            return self.finish_trivial(stranded, dropped_pairs, acc);
+        }
+
+        // Re-accumulate the loads of the starting point (normalized).
+        let mut loads = EdgeLoads::zeros(self.m);
+        for st in &states {
+            for (&id, &w) in st.ids.iter().zip(st.weights.iter()) {
+                loads.add_path(&self.store, id, w * st.demand);
+            }
+        }
+
+        // Both cold and warm solves start at the coarse smoothing stage.
+        // From a near-optimal warm point the line search immediately finds
+        // no coarse-stage progress, which cascades the smoothing down to
+        // the accuracy floor in O(log(1/eps)) cheap iterations and lets
+        // the sharp dual certificate stop the loop — starting sharp
+        // instead makes Frank–Wolfe crawl even from a warm point (the
+        // gradient pins to the single most-congested edge).
+        let (lower_bound, iterations, converged) = frank_wolfe(
+            self.m,
+            &mut states,
+            &mut loads,
+            &mut self.store,
+            oracle,
+            opts,
+            0.5,
+            ones_bound,
+            &mut acc,
+        );
+
+        // Persist the updated distributions (pruning negligible weights
+        // so state does not grow without bound across a long stream).
+        for st in &states {
+            let mut ids = Vec::with_capacity(st.ids.len());
+            let mut weights = Vec::with_capacity(st.ids.len());
+            for (&id, &w) in st.ids.iter().zip(st.weights.iter()) {
+                if w > WEIGHT_PRUNE {
+                    ids.push(id);
+                    weights.push(w);
+                }
+            }
+            self.choices.insert(st.pair, (ids, weights));
+        }
+
+        let routing = assemble_routing(&states, &self.store);
+        let congestion = routing.congestion(g, &self.demand);
+        self.congestion = congestion;
+        self.lower_bound = lower_bound * scale;
+        self.iterations = iterations;
+        self.converged = converged;
+        self.stranded = stranded;
+        MinCongSolution {
+            routing,
+            congestion,
+            lower_bound: self.lower_bound,
+            iterations,
+            converged,
+            stranded,
+            dropped_pairs,
+            stats: acc.finish(iterations),
+        }
+    }
+
+    /// The zero-work solution (empty demand, or everything stranded).
+    fn finish_trivial(
+        &mut self,
+        stranded: f64,
+        dropped_pairs: Vec<(VertexId, VertexId)>,
+        acc: StatsAcc,
+    ) -> MinCongSolution {
+        self.congestion = 0.0;
+        self.lower_bound = 0.0;
+        self.iterations = 0;
+        self.converged = true;
+        self.stranded = stranded;
+        MinCongSolution {
+            routing: Routing::new(),
+            congestion: 0.0,
+            lower_bound: 0.0,
+            iterations: 0,
+            converged: true,
+            stranded,
+            dropped_pairs,
+            stats: acc.finish(0),
+        }
+    }
+
+    /// Drops every carried path that crosses one of the `dead` edges,
+    /// renormalizing each affected pair's remaining mass onto its
+    /// surviving paths; pairs left without survivors are cleared (the
+    /// next [`Solver::resolve`] re-initializes them from the oracle).
+    ///
+    /// Returns the number of dropped paths. The demand is untouched —
+    /// restrict it separately if pairs lost coverage in the oracle too.
+    pub fn invalidate_edges(&mut self, dead: &[EdgeId]) -> usize {
+        let store = &self.store;
+        let mut removed = 0usize;
+        self.choices.retain(|_, (ids, weights)| {
+            let before = ids.len();
+            let mut keep_ids = Vec::with_capacity(before);
+            let mut keep_w = Vec::with_capacity(before);
+            for (&id, &w) in ids.iter().zip(weights.iter()) {
+                if !dead.iter().any(|&e| store.contains_edge(id, e)) {
+                    keep_ids.push(id);
+                    keep_w.push(w);
+                }
+            }
+            removed += before - keep_ids.len();
+            let total: f64 = keep_w.iter().sum();
+            if keep_ids.is_empty() || total <= 0.0 {
+                return false;
+            }
+            for w in keep_w.iter_mut() {
+                *w /= total;
+            }
+            *ids = keep_ids;
+            *weights = keep_w;
+            true
+        });
+        removed
+    }
+
+    /// Materializes the current per-pair distributions (demanded pairs
+    /// only) as a [`Routing`].
+    pub fn routing(&self) -> Routing {
+        let mut r = Routing::new();
+        for (s, t) in self.demand.support() {
+            if let Some((ids, weights)) = self.choices.get(&(s, t)) {
+                let dist: Vec<(Path, f64)> = ids
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(&id, &w)| (self.store.materialize(id), w))
+                    .collect();
+                if !dist.is_empty() {
+                    r.set_distribution(s, t, dist);
+                }
+            }
+        }
+        r
+    }
+}
+
+/// Solves `min max_e load_e` over routings whose per-pair paths come from
+/// `oracle`, routing the full demand `d` on graph `g` — the one-shot
+/// (cold) form of [`Solver::resolve`].
+///
+/// Returns the empty solution with congestion 0 for an empty demand.
+///
+/// Internally the demand is normalized to unit size (`siz(d) = 1`) and
+/// the bounds are scaled back afterwards, so every solver tolerance is
+/// relative to the demand's scale: solving `c * d` yields `c` times the
+/// congestion and lower bound of `d` (up to floating-point roundoff) for
+/// any positive finite `c`, including extreme scales where the smoothing
+/// temperature would otherwise overflow.
+///
+/// Pairs the oracle cannot route are dropped and reported as stranded
+/// (see [`MinCongSolution::stranded`]).
+///
+/// # Panics
+///
+/// Panics if the demand's total size overflows `f64`.
+pub fn min_congestion(
+    g: &Graph,
+    d: &Demand,
+    oracle: &mut dyn PathOracle,
+    opts: &SolveOptions,
+) -> MinCongSolution {
+    Solver::new(g).resolve(g, DemandDelta::Replace(d.clone()), oracle, opts)
+}
+
+/// Stage-4 rate adaptation: `cong_R(P, d)` over the candidate sets
+/// (Definition 5.1). `candidates` is the interned view a `PathSystem`
+/// exposes through its `candidates()` method. Demand pairs without
+/// candidates are reported as stranded.
+pub fn min_congestion_restricted(
+    g: &Graph,
+    d: &Demand,
+    candidates: Candidates<'_>,
+    opts: &SolveOptions,
+) -> MinCongSolution {
+    let mut oracle = CandidateOracle::new(candidates);
+    min_congestion(g, d, &mut oracle, opts)
+}
+
+/// Offline fractional optimum `opt_{G,R}(d)` over all paths (Section 4).
+pub fn min_congestion_unrestricted(g: &Graph, d: &Demand, opts: &SolveOptions) -> MinCongSolution {
+    let mut oracle = AllPathsOracle::new(g);
+    min_congestion(g, d, &mut oracle, opts)
+}
+
+/// Offline fractional optimum on a failure-masked topology: like
+/// [`min_congestion_unrestricted`], but only edges marked usable may
+/// carry flow. `usable` is the combined mask a
+/// `ssor_graph::SubTopology` exports; the graph itself is untouched, so
+/// the resulting loads and routing use the base graph's edge ids. Pairs
+/// disconnected by the mask are dropped and reported as stranded.
+///
+/// # Panics
+///
+/// Panics if `usable.len() != g.m()`.
+pub fn min_congestion_masked(
+    g: &Graph,
+    d: &Demand,
+    usable: &[bool],
+    opts: &SolveOptions,
+) -> MinCongSolution {
+    let mut oracle = AllPathsOracle::masked(g, usable);
+    min_congestion(g, d, &mut oracle, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateSet;
+    use ssor_graph::generators;
+
+    fn opts() -> SolveOptions {
+        SolveOptions {
+            eps: 0.02,
+            max_iters: 2000,
+        }
+    }
+
+    #[test]
+    fn empty_demand_is_trivial() {
+        let g = generators::ring(4);
+        let sol = min_congestion_unrestricted(&g, &Demand::new(), &opts());
+        assert_eq!(sol.congestion, 0.0);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.converged);
+        assert_eq!(sol.stranded, 0.0);
+    }
+
+    #[test]
+    fn single_pair_on_ring_splits_both_ways() {
+        // Ring of 6: one unit 0 -> 3 can split into two disjoint 3-hop
+        // paths, halving congestion.
+        let g = generators::ring(6);
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(
+            (sol.congestion - 0.5).abs() < 0.02,
+            "congestion = {}",
+            sol.congestion
+        );
+        assert!(sol.gap() <= 1.1, "gap = {}", sol.gap());
+        assert!(sol.routing.is_valid(&g));
+    }
+
+    #[test]
+    fn parallel_edges_split_flow() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let d = Demand::from_pairs(&[(0, 1)]).scaled(3.0);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(
+            (sol.congestion - 1.0).abs() < 0.05,
+            "congestion = {}",
+            sol.congestion
+        );
+    }
+
+    #[test]
+    fn restricted_single_candidate_is_forced() {
+        let g = generators::ring(6);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_restricted(&g, &d, cands.as_candidates(), &opts());
+        assert!((sol.congestion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_two_candidates_split() {
+        let g = generators::ring(6);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        cands.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_restricted(&g, &d, cands.as_candidates(), &opts());
+        assert!(
+            (sol.congestion - 0.5).abs() < 0.02,
+            "congestion = {}",
+            sol.congestion
+        );
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_primal() {
+        let g = generators::grid(3, 3);
+        let d = Demand::from_pairs(&[(0, 8), (2, 6), (1, 7), (3, 5)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(sol.lower_bound <= sol.congestion + 1e-9);
+        assert!(sol.gap() < 1.25, "gap = {}", sol.gap());
+    }
+
+    #[test]
+    fn congestion_matches_flow_lower_bound_on_star() {
+        // Star: all paths go through the center; each pair uses its two
+        // leaf edges once, so the unique routing has congestion 1.
+        let g = generators::star(6);
+        let d = Demand::from_pairs(&[(1, 2), (3, 4), (5, 6)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!((sol.congestion - 1.0).abs() < 1e-6);
+        assert!(sol.gap() < 1.05);
+    }
+
+    #[test]
+    fn many_commodities_on_hypercube_nearly_optimal() {
+        let g = generators::hypercube(4);
+        let d = Demand::hypercube_complement(4);
+        let sol = min_congestion_unrestricted(
+            &g,
+            &d,
+            &SolveOptions {
+                eps: 0.1,
+                max_iters: 3000,
+            },
+        );
+        // Complement demand on Q4: every pair at distance 4; total flow
+        // >= 16*4 = 64 over 32 edges => congestion >= 2. An optimal routing
+        // achieves exactly 2 (edge-disjoint dimension-ordered batches).
+        assert!(sol.congestion < 2.3, "congestion = {}", sol.congestion);
+        assert!(sol.lower_bound >= 1.9, "lb = {}", sol.lower_bound);
+    }
+
+    #[test]
+    fn masked_solve_avoids_dead_edges() {
+        // Ring of 6 with one edge of the short side failed: the whole
+        // 0 -> 3 unit is forced onto the surviving side.
+        let g = generators::ring(6);
+        let mut sub = g.sub_topology();
+        sub.fail_edge(1); // the (1, 2) edge
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let sol = min_congestion_masked(&g, &d, &sub.usable_edges(), &opts());
+        assert!(
+            (sol.congestion - 1.0).abs() < 1e-6,
+            "congestion = {}",
+            sol.congestion
+        );
+        let loads = sol.routing.edge_loads(&g, &d);
+        assert_eq!(loads.get(1), 0.0, "no flow on the dead edge");
+    }
+
+    #[test]
+    fn masked_solve_with_full_mask_matches_unrestricted() {
+        let g = generators::grid(3, 3);
+        let d = Demand::from_pairs(&[(0, 8), (2, 6)]);
+        let full = vec![true; g.m()];
+        let masked = min_congestion_masked(&g, &d, &full, &opts());
+        let open = min_congestion_unrestricted(&g, &d, &opts());
+        assert!((masked.congestion - open.congestion).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_solve_strands_disconnected_pairs_instead_of_panicking() {
+        // Ring of 4 with two opposite edges dead: (0, 2) is disconnected,
+        // (1, 0) still routable. The solve drops the dead pair, reports
+        // its mass, and routes the rest.
+        let g = generators::ring(4);
+        let mut sub = g.sub_topology();
+        sub.fail_edge(0); // (0, 1)
+        sub.fail_edge(2); // (2, 3)
+        let mut d = Demand::new();
+        d.set(0, 2, 3.0);
+        d.set(1, 2, 1.0);
+        let sol = min_congestion_masked(&g, &d, &sub.usable_edges(), &opts());
+        assert_eq!(sol.stranded, 3.0, "the disconnected pair's mass");
+        assert_eq!(sol.dropped_pairs, vec![(0, 2)]);
+        assert!(
+            (sol.congestion - 1.0).abs() < 1e-9,
+            "(1, 2) routes its unit"
+        );
+        assert!(sol.routing.distribution(0, 2).is_none());
+    }
+
+    #[test]
+    fn fully_stranded_solve_is_trivial_but_reported() {
+        let g = generators::ring(4);
+        let mut sub = g.sub_topology();
+        sub.fail_edge(0);
+        sub.fail_edge(2);
+        let d = Demand::from_pairs(&[(0, 2)]).scaled(2.0);
+        let sol = min_congestion_masked(&g, &d, &sub.usable_edges(), &opts());
+        assert_eq!(sol.congestion, 0.0);
+        assert_eq!(sol.stranded, 2.0);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.routing.is_empty());
+    }
+
+    #[test]
+    fn restricted_solve_strands_uncovered_pairs() {
+        let g = generators::ring(6);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        let d = Demand::from_pairs(&[(0, 3), (1, 4)]);
+        let sol = min_congestion_restricted(&g, &d, cands.as_candidates(), &opts());
+        assert_eq!(sol.stranded, 1.0);
+        assert_eq!(sol.dropped_pairs, vec![(1, 4)]);
+        assert!((sol.congestion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_routes_full_demand() {
+        let g = generators::grid(3, 4);
+        let d = Demand::from_pairs(&[(0, 11), (4, 7)]).scaled(2.0);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        assert!(sol.routing.covers(&d));
+        assert!(sol.routing.is_valid(&g));
+        let loads = sol.routing.edge_loads(&g, &d);
+        assert!(
+            loads.total() >= d.size() * 3.0 - 1e-6,
+            "paths are >= 3 hops here"
+        );
+    }
+
+    #[test]
+    fn converged_flag_distinguishes_capped_solves() {
+        let g = generators::hypercube(4);
+        let d = Demand::hypercube_complement(4);
+        let certified = min_congestion_unrestricted(
+            &g,
+            &d,
+            &SolveOptions {
+                eps: 0.1,
+                max_iters: 3000,
+            },
+        );
+        assert!(certified.converged, "3000 iterations certify eps = 0.1");
+        assert!(certified.gap() <= 1.1 + 1e-9);
+        let capped = min_congestion_unrestricted(
+            &g,
+            &d,
+            &SolveOptions {
+                eps: 0.001,
+                max_iters: 3,
+            },
+        );
+        assert!(!capped.converged, "3 iterations cannot certify eps = 1e-3");
+    }
+
+    #[test]
+    fn stats_account_for_oracle_calls_and_stages() {
+        let g = generators::grid(4, 4);
+        let d = Demand::from_pairs(&[(0, 15), (3, 12), (5, 10)]);
+        let sol = min_congestion_unrestricted(&g, &d, &opts());
+        let stats = &sol.stats;
+        assert_eq!(stats.iterations, sol.iterations);
+        // One init call plus one per iteration.
+        assert_eq!(stats.oracle_calls, sol.iterations + 1);
+        assert_eq!(
+            stats.stages.iter().map(|s| s.iterations).sum::<usize>(),
+            sol.iterations
+        );
+        assert!(stats.oracle_wall <= stats.total_wall);
+        assert!((0.0..=1.0).contains(&stats.oracle_share()));
+        // Stages sharpen monotonically within the run.
+        for pair in stats.stages.windows(2) {
+            assert!(pair[1].eps < pair[0].eps, "stages must sharpen");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Warm-start behavior (carried Solver state).
+    // ------------------------------------------------------------------
+
+    fn warm_opts() -> SolveOptions {
+        SolveOptions {
+            eps: 0.05,
+            max_iters: 2000,
+        }
+    }
+
+    #[test]
+    fn fresh_solver_matches_one_shot_entry_point_bitwise() {
+        let g = generators::grid(3, 3);
+        let d = Demand::from_pairs(&[(0, 8), (2, 6), (1, 7)]);
+        let mut oracle = AllPathsOracle::new(&g);
+        let warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        let cold = min_congestion_unrestricted(&g, &d, &warm_opts());
+        assert_eq!(warm.congestion().to_bits(), cold.congestion.to_bits());
+        assert_eq!(warm.lower_bound().to_bits(), cold.lower_bound.to_bits());
+        assert_eq!(warm.iterations(), cold.iterations);
+    }
+
+    #[test]
+    fn warm_resolve_reconverges_faster_on_drift() {
+        let g = generators::grid(4, 4);
+        let mut d = Demand::from_pairs(&[(0, 15), (3, 12), (5, 10), (1, 14)]);
+        let mut oracle = AllPathsOracle::new(&g);
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        let cold_iters = warm.iterations();
+        // Mild drift: +5% on one pair.
+        d.set(0, 15, 1.05);
+        let sol = warm.resolve(
+            &g,
+            DemandDelta::Replace(d.clone()),
+            &mut oracle,
+            &warm_opts(),
+        );
+        assert!(
+            sol.iterations <= cold_iters,
+            "warm start should not regress"
+        );
+        // Quality stays certified.
+        let cold = min_congestion_unrestricted(&g, &d, &warm_opts());
+        let tol = 1.0 + warm_opts().eps + 0.02;
+        assert!(sol.congestion <= cold.congestion * tol + 1e-12);
+        assert!(cold.congestion <= sol.congestion * tol + 1e-12);
+    }
+
+    #[test]
+    fn scale_delta_scales_congestion_linearly() {
+        let g = generators::ring(6);
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let mut oracle = AllPathsOracle::new(&g);
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        let c1 = warm.congestion();
+        warm.resolve(&g, DemandDelta::Scale(3.0), &mut oracle, &warm_opts());
+        assert!((warm.congestion() - 3.0 * c1).abs() < 1e-9 * (1.0 + 3.0 * c1));
+    }
+
+    #[test]
+    fn set_delta_adds_and_removes_pairs() {
+        let g = generators::ring(8);
+        let d = Demand::from_pairs(&[(0, 4)]);
+        let mut oracle = AllPathsOracle::new(&g);
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        // Add a pair, drop the old one.
+        warm.resolve(
+            &g,
+            DemandDelta::Set(vec![((0, 4), 0.0), ((1, 5), 2.0)]),
+            &mut oracle,
+            &warm_opts(),
+        );
+        assert_eq!(warm.demand().support(), vec![(1, 5)]);
+        assert!(warm.congestion() > 0.0);
+        // Emptying the demand gives the trivial solution but keeps state.
+        let empty = warm.resolve(
+            &g,
+            DemandDelta::Set(vec![((1, 5), 0.0)]),
+            &mut oracle,
+            &warm_opts(),
+        );
+        assert_eq!(empty.congestion, 0.0);
+        assert_eq!(empty.iterations, 0);
+        // The pair returns: its carried distribution warm-starts again.
+        let back = warm.resolve(
+            &g,
+            DemandDelta::Set(vec![((1, 5), 2.0)]),
+            &mut oracle,
+            &warm_opts(),
+        );
+        assert!(back.congestion > 0.0);
+    }
+
+    #[test]
+    fn invalidate_edges_moves_mass_to_survivors() {
+        let g = generators::ring(6);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        cands.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let mut oracle = CandidateOracle::new(cands.as_candidates());
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        assert!((warm.congestion() - 0.5).abs() < 0.05, "splits both ways");
+        // Kill edge (1, 2): the clockwise path dies, all mass shifts.
+        let removed = warm.invalidate_edges(&[1]);
+        assert_eq!(removed, 1);
+        let r = warm.routing();
+        let dist = r.distribution(0, 3).expect("pair still routed");
+        assert_eq!(dist.len(), 1);
+        assert!((dist[0].weight - 1.0).abs() < 1e-12);
+        // Re-solving against the surviving candidate set stays correct.
+        let mut survivors = CandidateSet::new();
+        survivors.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        let mut oracle2 = CandidateOracle::new(survivors.as_candidates());
+        let sol = warm.resolve(
+            &g,
+            DemandDelta::Replace(d.clone()),
+            &mut oracle2,
+            &warm_opts(),
+        );
+        assert!((sol.congestion - 1.0).abs() < 1e-9);
+        let loads = sol.routing.edge_loads(&g, &d);
+        assert_eq!(loads.get(1), 0.0, "dead edge carries nothing");
+        // Matches a cold restricted solve on the survivors.
+        let cold = min_congestion_restricted(&g, &d, survivors.as_candidates(), &warm_opts());
+        assert!((sol.congestion - cold.congestion).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidate_all_paths_of_a_pair_forces_reinit() {
+        let g = generators::ring(6);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        let d = Demand::from_pairs(&[(0, 3)]);
+        let mut oracle = CandidateOracle::new(cands.as_candidates());
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        warm.invalidate_edges(&[0]);
+        assert!(warm.routing().is_empty(), "no survivors for the pair");
+        // Resolve with an oracle that still covers the pair re-initializes.
+        let mut fresh = CandidateSet::new();
+        fresh.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        let mut oracle2 = CandidateOracle::new(fresh.as_candidates());
+        let sol = warm.resolve(&g, DemandDelta::Replace(d), &mut oracle2, &warm_opts());
+        assert!((sol.congestion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_resolve_strands_pairs_the_oracle_lost() {
+        // After a failure wipes a pair's candidates, re-solving against
+        // the survivors strands that pair instead of panicking.
+        let g = generators::ring(6);
+        let mut cands = CandidateSet::new();
+        cands.insert(&Path::from_vertices(&g, &[0, 1, 2, 3]).unwrap());
+        cands.insert(&Path::from_vertices(&g, &[1, 2, 3, 4]).unwrap());
+        let d = Demand::from_pairs(&[(0, 3), (1, 4)]);
+        let mut oracle = CandidateOracle::new(cands.as_candidates());
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &warm_opts());
+        assert_eq!(warm.stranded(), 0.0);
+        // Edge (1, 2) dies: both carried paths cross it.
+        warm.invalidate_edges(&[1]);
+        let mut survivors = CandidateSet::new();
+        survivors.insert(&Path::from_vertices(&g, &[0, 5, 4, 3]).unwrap());
+        let mut oracle2 = CandidateOracle::new(survivors.as_candidates());
+        let sol = warm.resolve(&g, DemandDelta::Replace(d), &mut oracle2, &warm_opts());
+        assert_eq!(sol.stranded, 1.0, "(1, 4) has no surviving candidates");
+        assert_eq!(sol.dropped_pairs, vec![(1, 4)]);
+        assert!((sol.congestion - 1.0).abs() < 1e-9, "(0, 3) reroutes");
+    }
+}

@@ -2,9 +2,12 @@
 //! solvers — the paper's Section 4/5.4 identities.
 
 use proptest::prelude::*;
-use ssor_flow::mincong::{min_congestion_unrestricted, SolveOptions};
+use ssor_flow::oracle::{AllPathsOracle, PathOracle};
+use ssor_flow::solver::{min_congestion_unrestricted, SolveOptions};
 use ssor_flow::{Demand, Routing};
-use ssor_graph::{generators, Graph, VertexId};
+use ssor_graph::shortest_path::{dijkstra_tree_csr, dijkstra_tree_csr_view};
+use ssor_graph::{generators, Graph, PathId, PathStore, VertexId};
+use std::collections::BTreeMap;
 
 fn connected_graph() -> impl Strategy<Value = Graph> {
     (3usize..=10, 0.1f64..0.8, any::<u64>()).prop_map(|(n, p, seed)| {
@@ -170,6 +173,119 @@ proptest! {
         // congestion equals fractional congestion exactly.
         let frac = r.congestion(&g, &d);
         prop_assert!((ir.congestion(&g) as f64 - frac).abs() < 1e-9);
+    }
+}
+
+/// A connected random graph with a few duplicated (parallel) edges — the
+/// multigraph form the capacity-expanded WANs use.
+fn multigraph() -> impl Strategy<Value = Graph> {
+    (
+        connected_graph(),
+        proptest::collection::vec(any::<u32>(), 0..5),
+    )
+        .prop_map(|(base, dupes)| {
+            let mut g = base.clone();
+            let ends: Vec<(VertexId, VertexId)> = base.edges().map(|(_, uv)| uv).collect();
+            for pick in dupes {
+                let (u, v) = ends[pick as usize % ends.len()];
+                g.add_edge(u, v);
+            }
+            g
+        })
+}
+
+/// The serial reference the parallel batch oracle must match bit for bit:
+/// one Dijkstra per distinct source, sources ascending, pairs interned in
+/// index order within each source.
+fn serial_best_paths(
+    g: &Graph,
+    usable: Option<&[bool]>,
+    pairs: &[(VertexId, VertexId)],
+    w: &[f64],
+    store: &mut PathStore,
+) -> Vec<Option<(PathId, f64)>> {
+    let csr = g.csr();
+    let mut by_source: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
+    for (i, &(s, _)) in pairs.iter().enumerate() {
+        by_source.entry(s).or_default().push(i);
+    }
+    let mut out: Vec<Option<(PathId, f64)>> = vec![None; pairs.len()];
+    for (s, idxs) in by_source {
+        let tree = match usable {
+            None => dijkstra_tree_csr(&csr, s, &|e| w[e as usize]),
+            Some(mask) => dijkstra_tree_csr_view(&csr, s, &|e| w[e as usize], &mask.to_vec()),
+        };
+        for i in idxs {
+            let t = pairs[i].1;
+            out[i] = tree
+                .path_to(g, t)
+                .map(|p| (store.intern(&p), tree.dist_to(t)));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The rayon-parallel batch oracle promises results bitwise-equal to a
+    // serial per-source sweep — ids, costs, and the arena's interning
+    // order — on any weighted multigraph, masked or not, at whatever
+    // worker count the test runs under.
+    #[test]
+    fn parallel_batch_oracle_matches_serial_reference(
+        (g, pairs, weights, mask_seed) in multigraph().prop_flat_map(|g| {
+            let n = g.n() as VertexId;
+            let m = g.m();
+            // Distinct endpoints by construction (n >= 3 here).
+            let pair = (0..n, 0..n)
+                .prop_map(move |(s, t)| if s == t { (s, (t + 1) % n) } else { (s, t) });
+            (
+                Just(g),
+                proptest::collection::vec(pair, 1..24),
+                proptest::collection::vec(1e-3f64..10.0, m..m + 1),
+                any::<u64>(),
+            )
+        }),
+    ) {
+        let mut pairs = pairs;
+        pairs.sort_unstable();
+        pairs.dedup();
+        // Unmasked oracle vs reference.
+        let mut store_par = PathStore::new();
+        let mut store_ser = PathStore::new();
+        let mut oracle = AllPathsOracle::new(&g);
+        let got = oracle.best_paths(&pairs, &weights, &mut store_par);
+        let want = serial_best_paths(&g, None, &pairs, &weights, &mut store_ser);
+        prop_assert_eq!(&got, &want);
+        for (a, b) in got.iter().zip(want.iter()) {
+            let (ida, idb) = (a.unwrap().0, b.unwrap().0);
+            prop_assert_eq!(store_par.materialize(ida), store_ser.materialize(idb));
+        }
+        // Masked oracle vs reference (random knockouts; disconnected
+        // pairs must come back None identically on both sides).
+        let mut mask = vec![true; g.m()];
+        let mut x = mask_seed;
+        for bit in mask.iter_mut() {
+            // SplitMix64-ish scramble; ~1/4 of edges die.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *bit = (x >> 62) != 0;
+        }
+        let mut store_par = PathStore::new();
+        let mut store_ser = PathStore::new();
+        let mut oracle = AllPathsOracle::masked(&g, &mask);
+        let got = oracle.best_paths(&pairs, &weights, &mut store_par);
+        let want = serial_best_paths(&g, Some(&mask), &pairs, &weights, &mut store_ser);
+        prop_assert_eq!(&got, &want);
+        for (a, b) in got.iter().zip(want.iter()) {
+            match (a, b) {
+                (Some((ida, _)), Some((idb, _))) => {
+                    prop_assert_eq!(store_par.materialize(*ida), store_ser.materialize(*idb));
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "reachability mismatch"),
+            }
+        }
     }
 }
 

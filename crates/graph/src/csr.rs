@@ -10,7 +10,7 @@
 //! arcs into two dense arrays — `offsets` and `arcs` — built once in
 //! `O(n + m)` and shared by every subsequent traversal.
 
-use crate::graph::{Arc, Graph, VertexId};
+use crate::graph::{Arc, EdgeId, Graph, VertexId};
 
 /// Read-only adjacency, abstracting over [`Graph`] (vec-of-vecs) and
 /// [`Csr`] (offset/arc arrays) so traversals are written once.
@@ -21,6 +21,59 @@ pub trait Adjacency {
     /// Incident arcs of `v` (one per incident edge, parallel edges
     /// included with multiplicity).
     fn arcs(&self, v: VertexId) -> &[Arc];
+}
+
+/// Which edges of a topology a traversal may use.
+///
+/// Complements [`Adjacency`]: the adjacency says which arcs *exist*, the
+/// view says which of them are currently *usable*. Shortest-path sweeps
+/// are written once, generic over both, so the intact topology
+/// ([`FullTopology`]) and a failure-damaged one (a `&[bool]` mask or a
+/// [`crate::SubTopology`]) share a single implementation — edge ids,
+/// traversal order, and tie-breaking are identical in every view.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::{EdgeView, FullTopology};
+///
+/// assert!(FullTopology.usable(7));
+/// let mask = [true, false];
+/// assert!(mask[..].usable(0));
+/// assert!(!mask[..].usable(1));
+/// ```
+pub trait EdgeView {
+    /// Whether edge `e` may be traversed.
+    fn usable(&self, e: EdgeId) -> bool;
+}
+
+/// The trivial [`EdgeView`]: every edge is usable (the intact topology).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullTopology;
+
+impl EdgeView for FullTopology {
+    #[inline]
+    fn usable(&self, _e: EdgeId) -> bool {
+        true
+    }
+}
+
+/// A usability bit per edge id — the mask form `SubTopology::usable_edges`
+/// exports.
+impl EdgeView for [bool] {
+    #[inline]
+    fn usable(&self, e: EdgeId) -> bool {
+        self[e as usize]
+    }
+}
+
+/// Owned mask variant of the `[bool]` view; unlike the slice it is
+/// `Sized`, so `&Vec<bool>` coerces to `&dyn EdgeView` directly.
+impl EdgeView for Vec<bool> {
+    #[inline]
+    fn usable(&self, e: EdgeId) -> bool {
+        self[e as usize]
+    }
 }
 
 impl Adjacency for Graph {

@@ -54,7 +54,7 @@ pub mod shortest_path;
 mod store;
 mod subtopology;
 
-pub use csr::{Adjacency, Csr};
+pub use csr::{Adjacency, Csr, EdgeView, FullTopology};
 pub use graph::{Arc, EdgeId, Graph, VertexId};
 pub use load::EdgeLoads;
 pub use path::Path;

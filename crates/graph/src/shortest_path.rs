@@ -8,8 +8,14 @@
 //! (all-pairs metrics, per-source BFS baselines, the offline-OPT
 //! column-generation oracle) build the CSR once and amortize it. Both
 //! variants traverse in the identical deterministic order.
+//!
+//! The Dijkstra core is additionally generic over an [`EdgeView`]
+//! restricting which edges may be traversed: [`dijkstra_tree_csr`] is the
+//! [`FullTopology`] instantiation, [`dijkstra_tree_csr_view`] accepts any
+//! view (e.g. the mask a `SubTopology` exports) — one implementation, so
+//! damaged-topology solves cannot drift from intact ones.
 
-use crate::csr::{Adjacency, Csr};
+use crate::csr::{Adjacency, Csr, EdgeView, FullTopology};
 use crate::graph::{EdgeId, Graph, VertexId};
 use crate::path::Path;
 use std::cmp::Ordering;
@@ -140,11 +146,21 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Generic Dijkstra core (see [`bfs_tree_in`] for why it stays private).
-fn dijkstra_tree_in<A: Adjacency + ?Sized>(
+/// The single Dijkstra-tree implementation of the workspace, generic over
+/// the adjacency representation *and* an [`EdgeView`] restricting which
+/// edges may be traversed (see [`bfs_tree_in`] for why it stays private
+/// behind monomorphic wrappers).
+///
+/// Unusable edges are treated as infinitely long: a relaxation through
+/// one can never improve a distance, so they are effectively absent while
+/// edge ids, traversal order, and tie-breaking stay identical to the
+/// unmasked sweep. Vertices cut off by the view end with
+/// `dist == f64::INFINITY`, exactly like genuinely unreachable ones.
+fn dijkstra_tree_in<A: Adjacency + ?Sized, V: EdgeView + ?Sized>(
     g: &A,
     s: VertexId,
     len: &dyn Fn(EdgeId) -> f64,
+    view: &V,
 ) -> SpTree {
     let n = g.n();
     let mut dist = vec![f64::INFINITY; n];
@@ -160,7 +176,11 @@ fn dijkstra_tree_in<A: Adjacency + ?Sized>(
             continue;
         }
         for a in g.arcs(v) {
-            let w = len(a.edge);
+            let w = if view.usable(a.edge) {
+                len(a.edge)
+            } else {
+                f64::INFINITY
+            };
             debug_assert!(w >= 0.0, "negative edge length");
             let nd = d + w;
             if nd < dist[a.to as usize] {
@@ -186,38 +206,30 @@ fn dijkstra_tree_in<A: Adjacency + ?Sized>(
 ///
 /// Panics (in debug builds) if a negative length is encountered.
 pub fn dijkstra_tree(g: &Graph, s: VertexId, len: &dyn Fn(EdgeId) -> f64) -> SpTree {
-    dijkstra_tree_in(g, s, len)
+    dijkstra_tree_in(g, s, len, &FullTopology)
 }
 
 /// [`dijkstra_tree`] over a pre-built [`Csr`] view (identical traversal
 /// order); build the CSR once when running many single-source solves —
 /// the offline-OPT oracle runs one per source per Frank–Wolfe iteration.
 pub fn dijkstra_tree_csr(g: &Csr, s: VertexId, len: &dyn Fn(EdgeId) -> f64) -> SpTree {
-    dijkstra_tree_in(g, s, len)
+    dijkstra_tree_in(g, s, len, &FullTopology)
 }
 
-/// [`dijkstra_tree_csr`] restricted to the edges marked usable in
-/// `usable` (indexed by edge id) — the traversal the failure scenarios
-/// run against a [`crate::SubTopology`] mask without rebuilding a graph.
-///
-/// Dead edges are treated as infinitely long: a relaxation through one
-/// can never improve a distance, so they are effectively absent while
-/// edge ids, traversal order, and tie-breaking stay identical to the
-/// unmasked sweep. Vertices cut off by the mask end with
-/// `dist == f64::INFINITY`, exactly like genuinely unreachable ones.
-pub fn dijkstra_tree_csr_masked(
+/// [`dijkstra_tree_csr`] restricted to the edges an [`EdgeView`] marks
+/// usable — the traversal failure scenarios run against a
+/// [`crate::SubTopology`] mask (`&sub.usable_edges()[..]`) without
+/// rebuilding a graph. With [`FullTopology`] this is exactly
+/// [`dijkstra_tree_csr`]; both wrap the one generic Dijkstra core, so
+/// every view traverses in the identical deterministic order over
+/// identical edge ids.
+pub fn dijkstra_tree_csr_view(
     g: &Csr,
     s: VertexId,
     len: &dyn Fn(EdgeId) -> f64,
-    usable: &[bool],
+    view: &dyn EdgeView,
 ) -> SpTree {
-    dijkstra_tree_in(g, s, &|e| {
-        if usable[e as usize] {
-            len(e)
-        } else {
-            f64::INFINITY
-        }
-    })
+    dijkstra_tree_in(g, s, len, view)
 }
 
 /// Shortest path between `s` and `t` under per-edge lengths.
@@ -336,6 +348,58 @@ mod tests {
             assert_eq!(a.dist, b.dist);
             assert_eq!(a.parent, b.parent);
         }
+    }
+
+    #[test]
+    fn full_view_matches_unmasked_exactly() {
+        let g = generators::grid(4, 5);
+        let csr = g.csr();
+        let lens: Vec<f64> = (0..g.m()).map(|e| 1.0 + (e % 5) as f64 * 0.5).collect();
+        let all = vec![true; g.m()];
+        for s in g.vertices() {
+            let a = dijkstra_tree_csr(&csr, s, &|e| lens[e as usize]);
+            let b = dijkstra_tree_csr_view(&csr, s, &|e| lens[e as usize], &FullTopology);
+            let c = dijkstra_tree_csr_view(&csr, s, &|e| lens[e as usize], &all);
+            assert_eq!(a.dist, b.dist);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.dist, c.dist);
+            assert_eq!(a.parent, c.parent);
+        }
+    }
+
+    #[test]
+    fn masked_view_matches_rebuilt_graph() {
+        // Masking edges must yield the same distances as physically
+        // removing them (on the surviving edge set).
+        let g = generators::grid(4, 4);
+        let csr = g.csr();
+        let mut usable = vec![true; g.m()];
+        for e in [1usize, 5, 10] {
+            usable[e] = false;
+        }
+        let kept: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .filter(|(e, _)| usable[*e as usize])
+            .map(|(_, uv)| uv)
+            .collect();
+        let rebuilt = Graph::from_edges(g.n(), &kept);
+        for s in g.vertices() {
+            let masked = dijkstra_tree_csr_view(&csr, s, &|_| 1.0, &usable);
+            let reference = dijkstra_tree(&rebuilt, s, &|_| 1.0);
+            assert_eq!(masked.dist, reference.dist, "source {s}");
+        }
+    }
+
+    #[test]
+    fn masked_view_cuts_off_unreachable_vertices() {
+        // Ring of 4 with two opposite edges dead: 0 and 2 are separated.
+        let g = generators::ring(4);
+        let csr = g.csr();
+        let usable = vec![false, true, false, true];
+        let t = dijkstra_tree_csr_view(&csr, 0, &|_| 1.0, &usable);
+        assert!(t.dist[2].is_infinite());
+        assert!(t.path_to(&g, 2).is_none());
+        assert_eq!(t.dist[3], 1.0);
     }
 
     #[test]

@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn certified_congestion_realized_by_lp() {
         // The restricted LP congestion must be at least matched / alpha.
-        use ssor_flow::mincong::{min_congestion_restricted, SolveOptions};
+        use ssor_flow::solver::{min_congestion_restricted, SolveOptions};
         let n = 16;
         let alpha = 2;
         let k = k_for_alpha(n, alpha); // 16^{1/4} = 2

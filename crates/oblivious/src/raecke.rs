@@ -162,7 +162,7 @@ mod tests {
     use crate::traits::validate_oblivious_routing;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use ssor_flow::mincong::{min_congestion_unrestricted, SolveOptions};
+    use ssor_flow::solver::{min_congestion_unrestricted, SolveOptions};
     use ssor_flow::Demand;
     use ssor_graph::generators;
 

@@ -25,7 +25,9 @@
 
 use rand::Rng;
 use ssor_core::PathSystem;
-use ssor_flow::mincong::{min_congestion_restricted, min_congestion_unrestricted, SolveOptions};
+use ssor_flow::solver::{
+    min_congestion_masked, min_congestion_restricted, min_congestion_unrestricted, SolveOptions,
+};
 use ssor_flow::Demand;
 use ssor_graph::{generators, EdgeId, Graph, VertexId};
 
@@ -265,6 +267,10 @@ pub struct FailureReport {
     /// Fraction of demand pairs that still have at least one surviving
     /// candidate path.
     pub coverage: f64,
+    /// Demand mass the damaged network physically cannot carry (pairs
+    /// the failure disconnected, dropped by the masked optimum solve;
+    /// 0.0 while the WAN stays connected).
+    pub stranded: f64,
     /// Congestion of re-optimized rates on the surviving paths (only the
     /// covered sub-demand), or `None` if nothing survived.
     pub congestion: Option<f64>,
@@ -275,11 +281,13 @@ pub struct FailureReport {
 /// Fails logical link `link`: removes its physical edges from the routing
 /// universe, drops candidate paths crossing them, and re-optimizes the
 /// covered part of `d` on the survivors. The optimum is recomputed on the
-/// damaged graph for comparison.
+/// damaged network for comparison — through the solver's edge mask, so
+/// no graph is rebuilt and edge ids stay stable; pairs the failure
+/// disconnects are reported as `stranded` instead of panicking.
 ///
 /// # Panics
 ///
-/// Panics if `link` is out of range or if failing it disconnects the WAN.
+/// Panics if `link` is out of range.
 pub fn fail_link(
     wan: &Wan,
     paths: &PathSystem,
@@ -300,19 +308,13 @@ pub fn fail_link(
         covered.support_len() as f64 / d.support_len() as f64
     };
 
-    // Damaged graph for the optimum (rebuild without the dead edges).
-    let kept: Vec<(VertexId, VertexId)> = wan
-        .graph
-        .edges()
-        .filter(|(e, _)| !dead.contains(e))
-        .map(|(_, uv)| uv)
-        .collect();
-    let damaged = Graph::from_edges(wan.graph.n(), &kept);
-    assert!(
-        damaged.is_connected(),
-        "failing link {link} disconnects the WAN"
-    );
-    let opt = min_congestion_unrestricted(&damaged, d, opts);
+    // Damaged-network optimum through the solver's edge mask (same
+    // graph, same edge ids, dead replicas unusable).
+    let mut usable = vec![true; wan.graph.m()];
+    for &e in dead {
+        usable[e as usize] = false;
+    }
+    let opt = min_congestion_masked(&wan.graph, d, &usable, opts);
 
     // Congestion on survivors (original edge ids still valid: we only
     // removed *paths*, and the survivors never cross dead edges).
@@ -328,6 +330,7 @@ pub fn fail_link(
     FailureReport {
         link,
         coverage,
+        stranded: opt.stranded,
         congestion,
         opt_lower_bound: opt.lower_bound,
     }
@@ -428,7 +431,9 @@ mod tests {
         let model = GravityModel::sample(wan.n(), 20.0, &mut rng);
         let d = model.snapshot(0, 24, &mut rng);
         let ps = alpha_sample(&ksp, &d.support(), 4, &mut rng);
-        // Find a link whose failure keeps the WAN connected.
+        // Every link can be drilled: the reported stranded mass must be
+        // exactly the demand on pairs the damaged graph disconnects
+        // (0.0 while the WAN stays whole) — no panics either way.
         let mut tested = 0;
         for link in 0..wan.link_count() {
             let kept: Vec<(u32, u32)> = wan
@@ -437,16 +442,27 @@ mod tests {
                 .filter(|(e, _)| !wan.replicas[link].contains(e))
                 .map(|(_, uv)| uv)
                 .collect();
-            if !Graph::from_edges(wan.graph.n(), &kept).is_connected() {
-                continue;
-            }
+            let damaged = Graph::from_edges(wan.graph.n(), &kept);
+            let cut_mass: f64 = d
+                .iter()
+                .filter(|&((s, t), _)| {
+                    ssor_graph::shortest_path::bfs_path(&damaged, s, t).is_none()
+                })
+                .map(|(_, w)| w)
+                .sum();
             let rep = fail_link(&wan, &ps, &d, link, &SolveOptions::with_eps(0.15));
             assert!(rep.coverage >= 0.0 && rep.coverage <= 1.0);
+            assert!(
+                (rep.stranded - cut_mass).abs() < 1e-9 * (1.0 + cut_mass),
+                "link {link}: stranded {} vs disconnected mass {}",
+                rep.stranded,
+                cut_mass
+            );
             tested += 1;
-            if tested >= 2 {
+            if tested >= 3 {
                 break;
             }
         }
-        assert!(tested > 0, "no safe link found to fail");
+        assert!(tested > 0);
     }
 }

@@ -7,7 +7,7 @@
 
 use rand::SeedableRng;
 use ssor::core::sample::alpha_sample;
-use ssor::flow::mincong::{min_congestion_restricted, SolveOptions};
+use ssor::flow::solver::{min_congestion_restricted, SolveOptions};
 use ssor::lowerbound::{
     c_graph, certify_hitting, find_adversarial_demand, k_for_alpha, optimal_witness,
 };

@@ -14,9 +14,26 @@
 //! ways: this test sweeps thread counts in-process, and the CI variant
 //! re-runs every other test off the single-thread default.
 
+use rand::SeedableRng;
 use ssor::core::PathSystem;
 use ssor::engine::{DynamicReport, PathSystemCache, Pipeline, ScenarioSpec, StreamModel};
-use ssor::flow::SolveOptions;
+use ssor::flow::solver::{min_congestion_masked, min_congestion_unrestricted, DemandDelta, Solver};
+use ssor::flow::{AllPathsOracle, Demand, SolveOptions};
+use ssor::graph::generators;
+use std::sync::{Mutex, MutexGuard};
+
+/// `RAYON_NUM_THREADS` is process-global and the vendored shim reads it
+/// on every call, so the tests in this binary — which libtest runs on
+/// parallel threads — must not sweep thread counts concurrently: one
+/// test's `set_var` would trip another's override-honored guard. Every
+/// test takes this lock for its whole body.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    // A poisoned lock just means another test failed; every sweep sets
+    // the variable before each run, so continuing is sound.
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One full pipeline execution at a pinned thread count: sampled path
 /// system plus the per-demand records, reduced to comparable bits.
@@ -61,6 +78,7 @@ fn assert_invariant(pipeline: &Pipeline, label: &str) {
 
 #[test]
 fn engine_results_are_thread_count_invariant() {
+    let _guard = env_lock();
     // Hypercube adversary: exercises par_alpha_sample over all 240
     // ordered pairs of Q4 plus the restricted + unrestricted solves.
     let hypercube = ScenarioSpec::HypercubeAdversarial { dim: 4 }
@@ -120,12 +138,69 @@ fn run_dynamic_at(threads: usize, scenario: &ScenarioSpec) -> Vec<(u64, usize, V
     }
 }
 
+/// The solver's parallel batch oracle fans per-source Dijkstra trees out
+/// over the rayon workers with an index-ordered merge; solves through
+/// the unified entry points — unrestricted, failure-masked, and a warm
+/// `Solver` chain — must be bit-identical at any worker count.
+#[test]
+fn solver_entry_points_are_thread_count_invariant() {
+    let _guard = env_lock();
+    // 28 distinct sources on Q5 — far above the oracle's serial cutoff
+    // and above the 8-thread fan-in, so the parallel merge actually runs
+    // at every swept width.
+    let g = generators::hypercube(5);
+    let d = Demand::random_permutation(32, &mut rand::rngs::StdRng::seed_from_u64(3));
+    let mut sub = g.sub_topology();
+    for e in [2u32, 17, 40, 63] {
+        sub.fail_edge(e);
+    }
+    let usable = sub.usable_edges();
+    let opts = SolveOptions::with_eps(0.1);
+
+    let solve_all = |threads: usize| -> Vec<u64> {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        assert_eq!(
+            rayon::current_num_threads(),
+            threads,
+            "worker-count override not honored; thread sweep would be vacuous"
+        );
+        let open = min_congestion_unrestricted(&g, &d, &opts);
+        let masked = min_congestion_masked(&g, &d, &usable, &opts);
+        // A warm chain: cold solve, then a drifted re-solve.
+        let mut oracle = AllPathsOracle::new(&g);
+        let mut warm = Solver::solve(&g, &d, &mut oracle, &opts);
+        let drifted = warm.resolve(&g, DemandDelta::Scale(1.25), &mut oracle, &opts);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        vec![
+            open.congestion.to_bits(),
+            open.lower_bound.to_bits(),
+            open.iterations as u64,
+            masked.congestion.to_bits(),
+            masked.lower_bound.to_bits(),
+            masked.stranded.to_bits(),
+            drifted.congestion.to_bits(),
+            drifted.lower_bound.to_bits(),
+            drifted.iterations as u64,
+        ]
+    };
+
+    let base = solve_all(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            base,
+            solve_all(threads),
+            "solver results differ at {threads} threads"
+        );
+    }
+}
+
 /// The warm-started stream and the failure sweep are sequential chains
 /// of solves, but every solve inside them crosses the rayon-parallel
 /// load accumulation — their outputs must still be bit-identical at any
 /// worker count.
 #[test]
 fn dynamic_scenarios_are_thread_count_invariant() {
+    let _guard = env_lock();
     let sweep = ScenarioSpec::FailureSweep {
         base: Box::new(ScenarioSpec::HypercubeAdversarial { dim: 4 }),
         k_failures: 3,

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ssor::core::{sample, SemiObliviousRouter};
-use ssor::flow::mincong::{min_congestion_restricted, min_congestion_unrestricted};
+use ssor::flow::solver::{min_congestion_restricted, min_congestion_unrestricted};
 use ssor::flow::{Demand, SolveOptions};
 use ssor::graph::generators;
 use ssor::oblivious::{ObliviousRouting, RaeckeRouting, ValiantRouting};

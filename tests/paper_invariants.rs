@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ssor::core::weak::{sample_multiset, verify_lemma_5_10, weak_route};
 use ssor::core::{sample, PathSystem};
-use ssor::flow::mincong::{min_congestion_restricted, SolveOptions};
+use ssor::flow::solver::{min_congestion_restricted, SolveOptions};
 use ssor::flow::Demand;
 use ssor::graph::maxflow::min_cut_value;
 use ssor::oblivious::{ObliviousRouting, ValiantRouting};
