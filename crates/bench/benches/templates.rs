@@ -1,0 +1,105 @@
+//! The `templates` bench group: what oblivious-template construction
+//! costs, stage by stage, on the same offline mini-harness as
+//! `benches/pipeline.rs`.
+//!
+//! Template construction is the dominant serial cost of the pipeline on
+//! WAN-scale topologies; this group tracks the three rayon-parallel
+//! pieces introduced to fix that — the all-pairs metric
+//! ([`Metric::build`]), seeded FRT ensembles
+//! ([`sample_tree_routings_seeded`]), and the Räcke build whose
+//! per-iteration metric + canonical-load stages fan out over workers —
+//! and prints the Räcke *wall-share* split: the fraction of the build
+//! spent in parallelizable stages, i.e. the single-core headroom a
+//! multi-core runner converts into wall-clock.
+//!
+//! Run with: `cargo bench -p ssor-bench --bench templates`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssor_engine::{PathSystemCache, TemplateBuilder, TemplateSpec, TopologySpec};
+use ssor_graph::generators;
+use ssor_oblivious::frt::sample_tree_routings_seeded;
+use ssor_oblivious::{Metric, ObliviousRouting, RaeckeOptions, RaeckeRouting};
+use std::time::Instant;
+
+/// Times `f` over `iters` runs (after one warmup) and prints min/mean.
+fn bench<T>(group: &str, name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    let _warmup = f();
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed());
+        drop(out);
+    }
+    let min = times.iter().min().expect("nonempty");
+    let mean = times.iter().sum::<std::time::Duration>() / iters as u32;
+    println!(
+        "{group:>16} / {name:<40} min {:>10.1?}  mean {:>10.1?}  ({iters} iters)",
+        min, mean
+    );
+}
+
+fn main() {
+    println!(
+        "ssor template-construction micro-benchmarks (offline harness, {} rayon workers)\n",
+        rayon::current_num_threads()
+    );
+
+    // The SMORE-style Waxman WAN — the topology family where template
+    // construction dominates the pipeline's wall-clock.
+    let (wan, _, _) = generators::waxman_connected(64, 0.4, 0.25, 7, 16);
+    let grid = generators::grid(8, 8);
+
+    bench("templates", "metric_hops_waxman64", 10, || {
+        Metric::hops(&wan)
+    });
+    bench("templates", "metric_hops_grid8x8", 10, || {
+        Metric::hops(&grid)
+    });
+    bench("templates", "frt_ensemble_12trees_waxman64", 10, || {
+        sample_tree_routings_seeded(&wan, 12, 3)
+    });
+    let raecke_opts = RaeckeOptions {
+        iterations: 12,
+        epsilon: 0.5,
+    };
+    bench("templates", "raecke_build_12iter_waxman64", 5, || {
+        RaeckeRouting::build(&wan, &raecke_opts, &mut StdRng::seed_from_u64(11))
+    });
+
+    // Engine-level ensemble fan-out: distinct seeds of the FrtEnsemble
+    // template built concurrently through the cache.
+    bench("templates", "builder_ensemble_4x8trees_waxman64", 5, || {
+        let cache = PathSystemCache::new();
+        let entries: Vec<(TemplateSpec, u64)> = (0..4)
+            .map(|s| (TemplateSpec::FrtEnsemble { trees: 8 }, s))
+            .collect();
+        TemplateBuilder::new(&cache).build_ensemble(
+            &TopologySpec::Waxman {
+                n: 64,
+                a: 0.4.into(),
+                b: 0.25.into(),
+                seed: 7,
+            },
+            &entries,
+        )
+    });
+
+    // Wall-share split: how much of the Räcke build is parallelizable
+    // (metric + canonical loads) vs the serial MW tree stream — the
+    // single-core headroom. Printed once so regressions show up in logs.
+    let r = RaeckeRouting::build(&wan, &raecke_opts, &mut StdRng::seed_from_u64(11));
+    let stats = r.build_stats().expect("raecke tracks build stats");
+    let total = stats.total_wall.as_secs_f64().max(1e-12);
+    println!(
+        "{:>16} / raecke wall-share: metric {:.0}% + loads {:.0}% = {:.0}% parallelizable \
+         (trees, serial MW stream: {:.0}%) of {:?}",
+        "templates",
+        stats.metric_wall.as_secs_f64() / total * 100.0,
+        stats.load_wall.as_secs_f64() / total * 100.0,
+        stats.parallel_share() * 100.0,
+        stats.tree_wall.as_secs_f64() / total * 100.0,
+        stats.total_wall,
+    );
+}

@@ -15,7 +15,6 @@ use ssor_core::{sample, SemiObliviousRouter};
 use ssor_flow::solver::min_congestion_unrestricted;
 use ssor_flow::{Demand, SolveOptions};
 use ssor_graph::{generators, Graph};
-use ssor_oblivious::frt::sample_tree_routings;
 use ssor_oblivious::{
     EcmpRouting, ElectricalRouting, ObliviousRouting, RaeckeOptions, RaeckeRouting,
     ShortestPathRouting,
@@ -25,32 +24,6 @@ use ssor_oblivious::{
 struct Row {
     base_routing: String,
     mean_ratio: f64,
-}
-
-/// An "FRT ensemble" oblivious routing: uniform mixture of unweighted FRT
-/// trees (Räcke without the multiplicative-weights loop).
-struct FrtEnsemble {
-    graph: Graph,
-    trees: Vec<ssor_oblivious::TreeRouting>,
-}
-
-impl ObliviousRouting for FrtEnsemble {
-    fn graph(&self) -> &Graph {
-        &self.graph
-    }
-    fn sample_path(&self, s: u32, t: u32, rng: &mut dyn rand::RngCore) -> ssor_graph::Path {
-        use rand::Rng;
-        let i = rng.gen_range(0..self.trees.len());
-        self.trees[i].path(&self.graph, s, t)
-    }
-    fn path_distribution(&self, s: u32, t: u32) -> Vec<(ssor_graph::Path, f64)> {
-        let w = 1.0 / self.trees.len() as f64;
-        let mut acc = ssor_oblivious::DistributionBuilder::new();
-        for tr in &self.trees {
-            acc.add(&tr.path(&self.graph, s, t), w);
-        }
-        acc.finish()
-    }
 }
 
 fn mean_ratio<O: ObliviousRouting + ?Sized>(
@@ -118,11 +91,9 @@ fn main() {
         );
     }
     {
-        let trees = sample_tree_routings(&g, 12, &mut StdRng::seed_from_u64(7));
-        let ens = FrtEnsemble {
-            graph: g.clone(),
-            trees,
-        };
+        // Räcke minus the multiplicative-weights loop: a uniform mixture
+        // of seed-derived FRT trees, built in parallel.
+        let ens = RaeckeRouting::frt_ensemble(&g, 12, 7);
         let r = mean_ratio(&ens, &g, &demands, alpha, &opts, 8);
         push("FRT ensemble (12 trees, no MWU)", r, &mut table, &mut rows);
     }

@@ -55,7 +55,9 @@ pub mod sampling;
 mod spec;
 mod stream;
 
-pub use cache::{CacheStats, OptBounds, PathSystemCache, SharedTemplate};
+pub use cache::{
+    CacheStats, OptBounds, PathSystemCache, SharedTemplate, TemplateBuildStats, TemplateBuilder,
+};
 pub use pipeline::{EvalRecord, Objective, Pipeline, PreparedPipeline, RunReport};
 pub use spec::{
     DemandSpec, Param, ResolveCtx, ScenarioSpec, StreamModel, TemplateSpec, TopologySpec,

@@ -7,7 +7,9 @@
 //! the result. Every experiment in `crates/bench` is a configuration of
 //! this type; none of them hand-roll the stage plumbing anymore.
 
-use crate::cache::{OptBounds, PathSystemCache, SharedTemplate};
+use crate::cache::{
+    OptBounds, PathSystemCache, SharedTemplate, TemplateBuildStats, TemplateBuilder,
+};
 use crate::sampling::{mix, par_alpha_sample};
 use crate::spec::{DemandSpec, ResolveCtx, StreamModel, TemplateSpec, TopologySpec};
 use crate::stream::{FailureSweepReport, FailureTrial, StreamReport, StreamStep};
@@ -140,6 +142,10 @@ pub struct RunReport {
     pub records: Vec<EvalRecord>,
     /// Wall-clock duration of the whole run.
     pub wall: std::time::Duration,
+    /// What the stage-2 template build cost (and whether the cache
+    /// shared it); `None` under [`Objective::CompletionTime`], which
+    /// builds no template.
+    pub template: Option<TemplateBuildStats>,
 }
 
 impl RunReport {
@@ -437,7 +443,8 @@ impl Pipeline {
         let graph_and_meta = cache.graph(&self.topology);
         match self.objective {
             Objective::Congestion => {
-                let template = cache.template(&self.topology, &self.template, self.seed);
+                let (template, template_stats) =
+                    TemplateBuilder::new(cache).build(&self.topology, &self.template, self.seed);
                 let paths = cache.paths(
                     &self.topology,
                     &self.template,
@@ -461,6 +468,7 @@ impl Pipeline {
                     pipeline: self.clone(),
                     graph_and_meta,
                     template: Some(template),
+                    template_stats: Some(template_stats),
                     paths,
                     router,
                 }
@@ -484,6 +492,7 @@ impl Pipeline {
                     pipeline: self.clone(),
                     graph_and_meta,
                     template: None,
+                    template_stats: None,
                     paths,
                     router: PreparedRouter::Completion(comp),
                 }
@@ -516,6 +525,7 @@ impl Pipeline {
         RunReport {
             records,
             wall: start.elapsed(),
+            template: prepared.template_stats(),
         }
     }
 
@@ -626,6 +636,7 @@ impl Pipeline {
         StreamReport {
             steps: records,
             wall: start.elapsed(),
+            template: prepared.template_stats(),
         }
     }
 
@@ -639,6 +650,13 @@ impl Pipeline {
     /// each record also carries a cold restricted solve on the same
     /// survivors plus the certified optimum of the *damaged* topology
     /// (masked all-paths solve) and the resulting ratio.
+    ///
+    /// The intact-topology template (and its sampled path system) is
+    /// built **once** through the cache and shared by every trial —
+    /// failures mask edges and drop candidate paths, they never rebuild
+    /// templates. The report's
+    /// [`template`](crate::FailureSweepReport::template) stats record
+    /// that single build (or cache share).
     ///
     /// # Panics
     ///
@@ -764,6 +782,7 @@ impl Pipeline {
         FailureSweepReport {
             trials: records,
             wall: start.elapsed(),
+            template: prepared.template_stats(),
         }
     }
 
@@ -834,6 +853,8 @@ pub struct PreparedPipeline {
     /// `None` under [`Objective::CompletionTime`], which builds its own
     /// hop-ladder routings instead of sampling a template.
     template: Option<SharedTemplate>,
+    /// What the stage-2 build cost (`None` when no template was built).
+    template_stats: Option<TemplateBuildStats>,
     paths: Arc<PathSystem>,
     router: PreparedRouter,
 }
@@ -876,6 +897,25 @@ impl PreparedPipeline {
         self.template
             .as_deref()
             .map(|t| t as &dyn ssor_oblivious::ObliviousRouting)
+    }
+
+    /// What the stage-2 template build cost — wall-clock, whether the
+    /// cache shared it, and the per-stage parallelizable split when the
+    /// template records one. `None` under
+    /// [`Objective::CompletionTime`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{Pipeline, TemplateSpec, TopologySpec};
+    /// let p = Pipeline::on(TopologySpec::Grid { rows: 3, cols: 3 })
+    ///     .alpha(2)
+    ///     .prepare(&Default::default());
+    /// let stats = p.template_stats().expect("congestion objective builds one");
+    /// assert!(!stats.cached, "fresh cache cannot share");
+    /// ```
+    pub fn template_stats(&self) -> Option<TemplateBuildStats> {
+        self.template_stats
     }
 
     /// The sampled path system (stage 3).
@@ -1189,6 +1229,47 @@ mod tests {
             "adversary too weak: ratio {}",
             rec.ratio.unwrap()
         );
+    }
+
+    #[test]
+    fn reports_surface_template_build_stats() {
+        let cache = PathSystemCache::new();
+        let p = Pipeline::on(TopologySpec::Grid { rows: 3, cols: 3 })
+            .alpha(2)
+            .solve_options(quick_opts())
+            .without_opt()
+            .demand("d", DemandSpec::Pairs(vec![(0, 8)]));
+        let first = p.run(&cache);
+        let t1 = first
+            .template
+            .expect("congestion objective builds a template");
+        assert!(!t1.cached);
+        assert!(
+            t1.stages.is_some(),
+            "default Raecke template reports stages"
+        );
+        let second = p.run(&cache);
+        assert!(
+            second.template.unwrap().cached,
+            "re-run shares the template"
+        );
+    }
+
+    #[test]
+    fn failure_sweep_shares_intact_template_across_trials() {
+        let cache = PathSystemCache::new();
+        let p = Pipeline::on(TopologySpec::Hypercube { dim: 3 })
+            .template(TemplateSpec::Valiant)
+            .alpha(2)
+            .solve_options(quick_opts())
+            .without_opt()
+            .demand("complement", DemandSpec::Complement);
+        let report = p.failure_sweep(&cache, 1, 3);
+        let stats = report.template.expect("sweep records its one build");
+        assert!(!stats.cached, "one construction serves all trials");
+        // A second sweep over the same cache shares the template outright.
+        let again = p.failure_sweep(&cache, 1, 2);
+        assert!(again.template.unwrap().cached);
     }
 
     #[test]

@@ -305,6 +305,14 @@ pub enum TemplateSpec {
         /// Learning rate.
         epsilon: Param,
     },
+    /// A uniform mixture of hop-metric FRT trees with *no*
+    /// multiplicative-weights adaptation (Räcke's ensemble minus the
+    /// reweighting) — built fully in parallel from derived per-tree seed
+    /// streams, so it is the cheapest tree-based template at scale.
+    FrtEnsemble {
+        /// Number of trees in the mixture.
+        trees: usize,
+    },
     /// Uniform over the `k` shortest simple paths (the SMORE baseline).
     Ksp {
         /// Number of candidate paths.
@@ -376,6 +384,9 @@ impl TemplateSpec {
                 };
                 let mut rng = StdRng::seed_from_u64(seed);
                 Arc::new(RaeckeRouting::build(g, &opts, &mut rng))
+            }
+            TemplateSpec::FrtEnsemble { trees } => {
+                Arc::new(RaeckeRouting::frt_ensemble(g, trees, seed))
             }
             TemplateSpec::Ksp { k } => Arc::new(KspRouting::new(g, k)),
             TemplateSpec::ShortestPath => Arc::new(ShortestPathRouting::new(g)),
@@ -1016,6 +1027,7 @@ mod tests {
         let g = topo.build_graph();
         for spec in [
             TemplateSpec::raecke(),
+            TemplateSpec::FrtEnsemble { trees: 4 },
             TemplateSpec::Ksp { k: 3 },
             TemplateSpec::ShortestPath,
             TemplateSpec::Ecmp,
@@ -1024,6 +1036,23 @@ mod tests {
             let t = spec.build(&topo, &g, 3);
             assert_eq!(t.graph().n(), 9, "{spec:?}");
         }
+    }
+
+    #[test]
+    fn frt_ensemble_spec_is_deterministic_per_seed() {
+        let topo = TopologySpec::Grid { rows: 3, cols: 3 };
+        let g = topo.build_graph();
+        let spec = TemplateSpec::FrtEnsemble { trees: 5 };
+        let a = spec.build(&topo, &g, 9);
+        let b = spec.build(&topo, &g, 9);
+        let c = spec.build(&topo, &g, 10);
+        assert_eq!(a.path_distribution(0, 8), b.path_distribution(0, 8));
+        assert!(
+            [(0u32, 8u32), (2, 6), (1, 7)]
+                .iter()
+                .any(|&(s, t)| a.path_distribution(s, t) != c.path_distribution(s, t)),
+            "different seeds should differ somewhere"
+        );
     }
 
     #[test]

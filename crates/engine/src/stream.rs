@@ -10,6 +10,7 @@
 //! them, and re-routes the base demands on the survivors — comparing
 //! against the offline optimum of the damaged topology.
 
+use crate::cache::TemplateBuildStats;
 use ssor_graph::EdgeId;
 use std::time::Duration;
 
@@ -50,6 +51,9 @@ pub struct StreamReport {
     /// Wall-clock duration of the whole run (excluding stage 1–3
     /// preparation answered by the cache).
     pub wall: Duration,
+    /// What the single stage-2 template build behind the whole stream
+    /// cost (`cached` when a shared cache had already built it).
+    pub template: Option<TemplateBuildStats>,
 }
 
 impl StreamReport {
@@ -132,6 +136,11 @@ pub struct FailureSweepReport {
     pub trials: Vec<FailureTrial>,
     /// Wall-clock duration of the whole sweep.
     pub wall: Duration,
+    /// What the *single* intact-topology template build behind the whole
+    /// sweep cost: the template is constructed once (or shared from the
+    /// cache) and every trial re-routes against it — trials never
+    /// rebuild templates.
+    pub template: Option<TemplateBuildStats>,
 }
 
 impl FailureSweepReport {

@@ -37,9 +37,8 @@
 //! `MinCongSolution::stranded`).
 
 use crate::candidates::Candidates;
-use rayon::prelude::*;
-use ssor_graph::shortest_path::{dijkstra_tree_csr, dijkstra_tree_csr_view, SpTree};
-use ssor_graph::{Csr, Graph, PathId, PathStore, VertexId};
+use ssor_graph::shortest_path::{dijkstra_trees_csr_batch, dijkstra_trees_csr_view_batch, SpTree};
+use ssor_graph::{par_ordered_map, Csr, Graph, PathId, PathStore, VertexId};
 use std::collections::BTreeMap;
 
 /// Oracle answering "cheapest usable path per pair" under edge weights.
@@ -55,22 +54,6 @@ pub trait PathOracle {
         w: &[f64],
         store: &mut PathStore,
     ) -> Vec<Option<(PathId, f64)>>;
-}
-
-/// Maps `items` through `f` in parallel when the batch is large enough to
-/// amortize the per-call thread spawn, serially otherwise. Results come
-/// back in input order either way, so callers are bit-identical at any
-/// thread count — the cutoff moves wall-clock, never bits.
-fn par_ordered_map<T: Sync, U: Send>(
-    items: &[T],
-    min_par: usize,
-    f: impl Fn(&T) -> U + Sync,
-) -> Vec<U> {
-    if items.len() >= min_par && rayon::current_num_threads() > 1 {
-        items.par_iter().map(f).collect()
-    } else {
-        items.iter().map(f).collect()
-    }
 }
 
 /// Oracle over an explicit candidate set per pair (the path system).
@@ -141,11 +124,6 @@ pub struct AllPathsOracle<'a> {
     usable: Option<Vec<bool>>,
 }
 
-/// Below this many distinct sources the Dijkstra fan-out stays serial
-/// (a tree on the experiment-scale graphs costs a few microseconds; the
-/// shim's per-call thread spawn costs more).
-const ORACLE_PAR_MIN_SOURCES: usize = 4;
-
 impl<'a> AllPathsOracle<'a> {
     /// Creates an oracle over the whole (intact) graph.
     pub fn new(graph: &'a Graph) -> Self {
@@ -186,14 +164,19 @@ impl PathOracle for AllPathsOracle<'_> {
             by_source.entry(s).or_default().push(i);
         }
         let sources: Vec<(VertexId, Vec<usize>)> = by_source.into_iter().collect();
-        // Fan the per-source trees out over rayon workers; the ordered
-        // collect IS the deterministic index-ordered merge.
-        let trees: Vec<SpTree> = par_ordered_map(&sources, ORACLE_PAR_MIN_SOURCES, |(s, _)| {
-            match &self.usable {
-                None => dijkstra_tree_csr(&self.csr, *s, &|e| w[e as usize]),
-                Some(mask) => dijkstra_tree_csr_view(&self.csr, *s, &|e| w[e as usize], mask),
-            }
-        });
+        // Fan the per-source trees out over the shared batch helpers in
+        // `ssor_graph::shortest_path`, which return them in source-index
+        // order — that ordered collect IS the deterministic merge. The
+        // unmasked arm stays on the statically-dispatched batch
+        // (monomorphized `FullTopology`, no per-edge vtable call on the
+        // solver's hottest loop); a mask rides along as a `dyn EdgeView`
+        // only when one actually exists. Both wrap the one generic tree
+        // core, so damaged and intact sweeps cannot drift.
+        let srcs: Vec<VertexId> = sources.iter().map(|&(s, _)| s).collect();
+        let trees: Vec<SpTree> = match &self.usable {
+            None => dijkstra_trees_csr_batch(&self.csr, &srcs, &|e| w[e as usize]),
+            Some(mask) => dijkstra_trees_csr_view_batch(&self.csr, &srcs, &|e| w[e as usize], mask),
+        };
         // Serial path extraction + interning in source order, pair-index
         // order within each source — the arena's id assignment matches a
         // serial sweep exactly.

@@ -49,6 +49,7 @@ pub mod ksp;
 mod load;
 pub mod matching;
 pub mod maxflow;
+mod par;
 mod path;
 pub mod shortest_path;
 mod store;
@@ -57,6 +58,7 @@ mod subtopology;
 pub use csr::{Adjacency, Csr, EdgeView, FullTopology};
 pub use graph::{Arc, EdgeId, Graph, VertexId};
 pub use load::EdgeLoads;
+pub use par::par_ordered_map;
 pub use path::Path;
 pub use store::{PathId, PathStore};
 pub use subtopology::SubTopology;

@@ -14,6 +14,14 @@
 //! [`FullTopology`] instantiation, [`dijkstra_tree_csr_view`] accepts any
 //! view (e.g. the mask a `SubTopology` exports) — one implementation, so
 //! damaged-topology solves cannot drift from intact ones.
+//!
+//! Multi-source sweeps (all-pairs metrics, per-source baselines, the
+//! batch oracle) should use the *batch* helpers — [`bfs_trees_csr_batch`]
+//! and [`dijkstra_trees_csr_batch`] / [`dijkstra_trees_csr_view_batch`] —
+//! which fan the per-source trees out over rayon workers and return them
+//! in source-index order, so results are bit-identical to a serial sweep
+//! at any thread count. Small batches stay serial (the cutoff moves
+//! wall-clock only, never bits).
 
 use crate::csr::{Adjacency, Csr, EdgeView, FullTopology};
 use crate::graph::{EdgeId, Graph, VertexId};
@@ -232,6 +240,50 @@ pub fn dijkstra_tree_csr_view(
     dijkstra_tree_in(g, s, len, view)
 }
 
+/// Below this many sources a batch tree sweep stays serial: a single
+/// tree on the experiment-scale graphs costs a few microseconds, while
+/// the vendored rayon shim spawns threads per call. The cutoff affects
+/// wall-clock only — results are index-ordered either way.
+const BATCH_PAR_MIN_SOURCES: usize = 4;
+
+/// Maps `sources` through `tree` via [`crate::par_ordered_map`]: output
+/// in source-index order, serial below the cutoff.
+fn batch_trees(sources: &[VertexId], tree: impl Fn(VertexId) -> SpTree + Sync) -> Vec<SpTree> {
+    crate::par_ordered_map(sources, BATCH_PAR_MIN_SOURCES, |&s| tree(s))
+}
+
+/// One [`bfs_tree_csr`] per source, fanned out over rayon workers and
+/// returned in source-index order — bit-identical to a serial sweep at
+/// any thread count. The per-source tree builders (`ShortestPathRouting`,
+/// ECMP, hop-constrained landmarks) sweep through this.
+pub fn bfs_trees_csr_batch(g: &Csr, sources: &[VertexId]) -> Vec<SpTree> {
+    batch_trees(sources, |s| bfs_tree_in(g, s))
+}
+
+/// One [`dijkstra_tree_csr`] per source, fanned out over rayon workers
+/// and returned in source-index order — bit-identical to a serial sweep
+/// at any thread count. The all-pairs template metric and the solver's
+/// batch oracle are built on this.
+pub fn dijkstra_trees_csr_batch(
+    g: &Csr,
+    sources: &[VertexId],
+    len: &(dyn Fn(EdgeId) -> f64 + Sync),
+) -> Vec<SpTree> {
+    batch_trees(sources, |s| dijkstra_tree_in(g, s, len, &FullTopology))
+}
+
+/// [`dijkstra_trees_csr_batch`] restricted to the edges an [`EdgeView`]
+/// marks usable — the batch form of [`dijkstra_tree_csr_view`], sharing
+/// the identical tree core so masked and intact sweeps cannot drift.
+pub fn dijkstra_trees_csr_view_batch(
+    g: &Csr,
+    sources: &[VertexId],
+    len: &(dyn Fn(EdgeId) -> f64 + Sync),
+    view: &(dyn EdgeView + Sync),
+) -> Vec<SpTree> {
+    batch_trees(sources, |s| dijkstra_tree_in(g, s, len, view))
+}
+
 /// Shortest path between `s` and `t` under per-edge lengths.
 pub fn dijkstra_path(
     g: &Graph,
@@ -400,6 +452,41 @@ mod tests {
         assert!(t.dist[2].is_infinite());
         assert!(t.path_to(&g, 2).is_none());
         assert_eq!(t.dist[3], 1.0);
+    }
+
+    #[test]
+    fn batch_trees_match_per_source_calls() {
+        let g = generators::grid(4, 5);
+        let csr = g.csr();
+        let lens: Vec<f64> = (0..g.m()).map(|e| 1.0 + (e % 4) as f64 * 0.25).collect();
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let bfs_batch = bfs_trees_csr_batch(&csr, &sources);
+        let dij_batch = dijkstra_trees_csr_batch(&csr, &sources, &|e| lens[e as usize]);
+        for (i, &s) in sources.iter().enumerate() {
+            let b = bfs_tree_csr(&csr, s);
+            assert_eq!(bfs_batch[i].dist, b.dist);
+            assert_eq!(bfs_batch[i].parent, b.parent);
+            let d = dijkstra_tree_csr(&csr, s, &|e| lens[e as usize]);
+            assert_eq!(dij_batch[i].dist, d.dist);
+            assert_eq!(dij_batch[i].parent, d.parent);
+        }
+    }
+
+    #[test]
+    fn batch_view_trees_match_masked_calls() {
+        let g = generators::grid(4, 4);
+        let csr = g.csr();
+        let mut usable = vec![true; g.m()];
+        for e in [0usize, 7, 13] {
+            usable[e] = false;
+        }
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let batch = dijkstra_trees_csr_view_batch(&csr, &sources, &|_| 1.0, &usable);
+        for (i, &s) in sources.iter().enumerate() {
+            let one = dijkstra_tree_csr_view(&csr, s, &|_| 1.0, &usable);
+            assert_eq!(batch[i].dist, one.dist, "source {s}");
+            assert_eq!(batch[i].parent, one.parent, "source {s}");
+        }
     }
 
     #[test]

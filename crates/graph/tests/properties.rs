@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use ssor_graph::maxflow::min_cut_value;
-use ssor_graph::shortest_path::{bfs_path, bfs_tree, dijkstra_path, hop_distance};
+use ssor_graph::shortest_path::{
+    bfs_path, bfs_tree, bfs_trees_csr_batch, dijkstra_path, dijkstra_tree_csr,
+    dijkstra_trees_csr_batch, hop_distance,
+};
 use ssor_graph::{generators, EdgeLoads, Graph, Path, PathStore, VertexId};
 
 /// Strategy: a connected random graph with `n` in 2..=12 via an
@@ -64,6 +67,32 @@ proptest! {
                     prop_assert!(ac <= ab + bc + 1e-9);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batch_tree_sweep_matches_serial_reference(
+        g in connected_multigraph(),
+        wseed in any::<u64>(),
+    ) {
+        // The parallel all-sources fan-out (what the template metric and
+        // the batch oracle build on) must be bitwise equal to building
+        // each tree serially, on random weighted multigraphs.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let lens: Vec<f64> = (0..g.m()).map(|_| 0.25 + rng.gen::<f64>() * 4.0).collect();
+        let csr = g.csr();
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let batch = dijkstra_trees_csr_batch(&csr, &sources, &|e| lens[e as usize]);
+        let bfs_batch = bfs_trees_csr_batch(&csr, &sources);
+        for (i, &s) in sources.iter().enumerate() {
+            let serial = dijkstra_tree_csr(&csr, s, &|e| lens[e as usize]);
+            prop_assert_eq!(&batch[i].dist, &serial.dist);
+            prop_assert_eq!(&batch[i].parent, &serial.parent);
+            let serial_bfs = ssor_graph::shortest_path::bfs_tree_csr(&csr, s);
+            prop_assert_eq!(&bfs_batch[i].dist, &serial_bfs.dist);
+            prop_assert_eq!(&bfs_batch[i].parent, &serial_bfs.parent);
         }
     }
 

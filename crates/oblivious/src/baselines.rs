@@ -5,8 +5,17 @@
 use crate::traits::ObliviousRouting;
 use rand::{Rng, RngCore};
 use ssor_graph::ksp::k_shortest_paths;
-use ssor_graph::shortest_path::{bfs_tree_csr, SpTree};
+use ssor_graph::shortest_path::{bfs_trees_csr_batch, SpTree};
 use ssor_graph::{EdgeId, Graph, Path, VertexId};
+
+/// One BFS tree per vertex, fanned out over rayon workers in
+/// source-index order (see [`bfs_trees_csr_batch`]); the shared
+/// precompute of the per-source baselines.
+fn all_source_bfs_trees(g: &Graph) -> Vec<SpTree> {
+    let csr = g.csr();
+    let sources: Vec<VertexId> = g.vertices().collect();
+    bfs_trees_csr_batch(&csr, &sources)
+}
 
 /// Deterministic single shortest path per pair (BFS, lowest-edge-id
 /// tie-breaking). The `1`-sparse deterministic strawman on general graphs.
@@ -17,17 +26,17 @@ pub struct ShortestPathRouting {
 }
 
 impl ShortestPathRouting {
-    /// Precomputes one BFS tree per source.
+    /// Precomputes one BFS tree per source (rayon-parallel across
+    /// sources, bit-identical at any thread count).
     ///
     /// # Panics
     ///
     /// Panics if `g` is disconnected.
     pub fn new(g: &Graph) -> Self {
         assert!(g.is_connected());
-        let csr = g.csr();
         ShortestPathRouting {
             graph: g.clone(),
-            trees: g.vertices().map(|s| bfs_tree_csr(&csr, s)).collect(),
+            trees: all_source_bfs_trees(g),
         }
     }
 }
@@ -122,17 +131,18 @@ impl EcmpRouting {
     /// Cap on the explicit support returned by `path_distribution`.
     pub const MAX_SUPPORT: usize = 64;
 
-    /// Precomputes BFS trees (distances) from every source.
+    /// Precomputes BFS trees (distances) from every source
+    /// (rayon-parallel across sources, bit-identical at any thread
+    /// count).
     ///
     /// # Panics
     ///
     /// Panics if `g` is disconnected.
     pub fn new(g: &Graph) -> Self {
         assert!(g.is_connected());
-        let csr = g.csr();
         EcmpRouting {
             graph: g.clone(),
-            trees: g.vertices().map(|s| bfs_tree_csr(&csr, s)).collect(),
+            trees: all_source_bfs_trees(g),
         }
     }
 
@@ -142,7 +152,11 @@ impl EcmpRouting {
         let dist = &self.trees[s as usize].dist;
         let n = self.graph.n();
         let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-        order.sort_by(|&a, &b| dist[a as usize].partial_cmp(&dist[b as usize]).unwrap());
+        // `total_cmp`, not `partial_cmp().unwrap()`: a NaN distance (a
+        // poisoned tree from a caller-supplied length function) must not
+        // panic mid-build — NaNs order last and simply never extend a
+        // shortest-path count.
+        order.sort_by(|&a, &b| dist[a as usize].total_cmp(&dist[b as usize]));
         let mut counts = vec![0u128; n];
         counts[s as usize] = 1;
         for &v in &order {
@@ -345,6 +359,19 @@ mod tests {
         for (_, w) in &dist {
             assert!((w - 0.5).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn ecmp_count_from_tolerates_nan_distances() {
+        // Regression: the shortest-path DAG ordering used
+        // `partial_cmp().unwrap()`, so a single NaN distance (a poisoned
+        // tree) panicked mid-build. With `total_cmp` the NaN vertex
+        // orders last and contributes no counts.
+        let g = generators::grid(2, 2);
+        let mut r = EcmpRouting::new(&g);
+        r.trees[0].dist[3] = f64::NAN;
+        let marginals = r.edge_marginals(0, 1);
+        assert!(marginals.iter().all(|&(_, p)| p.is_finite()));
     }
 
     #[test]

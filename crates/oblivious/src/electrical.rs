@@ -104,6 +104,32 @@ pub fn effective_resistance(g: &Graph, w: &[f64], s: VertexId, t: VertexId) -> f
     phi[s as usize] - phi[t as usize]
 }
 
+/// Why an [`ElectricalRouting`] could not be constructed.
+///
+/// The Laplacian of a disconnected graph has a larger kernel than the
+/// all-ones vector, so "the" electrical flow between components does not
+/// exist — the solver would silently return an arbitrary vector instead
+/// of a routing. The fallible constructors surface that as a proper
+/// error rather than asserting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElectricalError {
+    /// The graph is disconnected; no electrical flow exists between
+    /// components.
+    Disconnected,
+}
+
+impl std::fmt::Display for ElectricalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElectricalError::Disconnected => {
+                write!(f, "electrical routing needs a connected graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElectricalError {}
+
 /// Oblivious routing along unit electrical flows (unit conductances).
 ///
 /// # Examples
@@ -125,32 +151,69 @@ pub struct ElectricalRouting {
 }
 
 impl ElectricalRouting {
+    /// Unit conductances on every edge, or
+    /// [`ElectricalError::Disconnected`] when no electrical flow exists.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_graph::Graph;
+    /// use ssor_oblivious::{ElectricalError, ElectricalRouting};
+    ///
+    /// let split = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+    /// assert_eq!(
+    ///     ElectricalRouting::try_new(&split).unwrap_err(),
+    ///     ElectricalError::Disconnected,
+    /// );
+    /// ```
+    pub fn try_new(g: &Graph) -> Result<Self, ElectricalError> {
+        Self::try_with_conductances(g, vec![1.0; g.m()])
+    }
+
+    /// Custom conductances, or [`ElectricalError::Disconnected`] when no
+    /// electrical flow exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or any conductance is nonpositive
+    /// (both are caller bugs, unlike disconnection, which can be a
+    /// property of the data).
+    pub fn try_with_conductances(
+        g: &Graph,
+        conductance: Vec<f64>,
+    ) -> Result<Self, ElectricalError> {
+        assert_eq!(conductance.len(), g.m());
+        assert!(conductance.iter().all(|&c| c > 0.0));
+        if !g.is_connected() {
+            return Err(ElectricalError::Disconnected);
+        }
+        Ok(ElectricalRouting {
+            graph: g.clone(),
+            conductance,
+        })
+    }
+
     /// Unit conductances on every edge.
     ///
     /// # Panics
     ///
-    /// Panics if the graph is disconnected.
+    /// Panics if the graph is disconnected (use
+    /// [`ElectricalRouting::try_new`] to handle that as an error).
     pub fn new(g: &Graph) -> Self {
-        assert!(g.is_connected());
-        ElectricalRouting {
-            graph: g.clone(),
-            conductance: vec![1.0; g.m()],
-        }
+        Self::try_new(g).expect("electrical routing needs a connected graph")
     }
 
     /// Custom conductances.
     ///
     /// # Panics
     ///
-    /// Panics if lengths mismatch or any conductance is nonpositive.
+    /// Panics if lengths mismatch, any conductance is nonpositive, or
+    /// the graph is disconnected (use
+    /// [`ElectricalRouting::try_with_conductances`] to handle the latter
+    /// as an error).
     pub fn with_conductances(g: &Graph, conductance: Vec<f64>) -> Self {
-        assert!(g.is_connected());
-        assert_eq!(conductance.len(), g.m());
-        assert!(conductance.iter().all(|&c| c > 0.0));
-        ElectricalRouting {
-            graph: g.clone(),
-            conductance,
-        }
+        Self::try_with_conductances(g, conductance)
+            .expect("electrical routing needs a connected graph")
     }
 }
 
@@ -170,7 +233,13 @@ impl ObliviousRouting for ElectricalRouting {
                 return p.clone();
             }
         }
-        dist.into_iter().last().unwrap().0
+        // Floating-point residue landed past the end of the CDF: fall
+        // back to an explicit, NaN-safe max over the weights instead of
+        // whatever happens to be last in sort order.
+        dist.into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("electrical distribution is never empty")
+            .0
     }
 
     fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
@@ -183,11 +252,10 @@ impl ObliviousRouting for ElectricalRouting {
         for (_, w) in parts.iter_mut() {
             *w /= total;
         }
-        parts.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap()
-                .then(a.0.edges().cmp(b.0.edges()))
-        });
+        // `total_cmp`, not `partial_cmp().unwrap()`: a NaN weight out of
+        // a barely-converged CG solve must not panic the sort (it orders
+        // deterministically instead).
+        parts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.edges().cmp(b.0.edges())));
         parts
     }
 }
@@ -248,6 +316,22 @@ mod tests {
         let g = generators::grid(3, 3);
         let r = ElectricalRouting::new(&g);
         validate_oblivious_routing(&r, &[(0, 8), (2, 6), (1, 5)]).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graphs_are_a_proper_error() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(
+            ElectricalRouting::try_new(&g).unwrap_err(),
+            ElectricalError::Disconnected
+        );
+        assert_eq!(
+            ElectricalRouting::try_with_conductances(&g, vec![1.0; g.m()]).unwrap_err(),
+            ElectricalError::Disconnected
+        );
+        // The panicking constructors still panic, with a telling message.
+        let caught = std::panic::catch_unwind(|| ElectricalRouting::new(&g));
+        assert!(caught.is_err());
     }
 
     #[test]

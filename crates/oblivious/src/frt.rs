@@ -6,11 +6,20 @@
 //! those (`O(log n)` expected distortion). A single FRT tree gives a
 //! deterministic path map; a *distribution* over trees (built in
 //! [`RaeckeRouting`](crate::RaeckeRouting)) gives the oblivious routing.
+//!
+//! Construction is rayon-parallel and seed-derived: [`Metric::build`]
+//! fans its per-source Dijkstra trees over workers in index order, and
+//! tree *ensembles* draw each tree from its own [`tree_seed`]-derived
+//! RNG stream ([`sample_tree_routings_seeded`]), so outputs are
+//! bit-identical at any thread count. The threaded-RNG entry points are
+//! kept as a serial compat shim for one release.
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
-use ssor_graph::shortest_path::{dijkstra_tree_csr, SpTree};
-use ssor_graph::{EdgeId, Graph, Path, VertexId};
+use rand::{Rng, SeedableRng};
+use ssor_graph::generators::mix_seed;
+use ssor_graph::shortest_path::{dijkstra_trees_csr_batch, SpTree};
+use ssor_graph::{par_ordered_map, EdgeId, Graph, Path, VertexId};
 use std::sync::Arc;
 
 /// All-pairs shortest-path structure under a fixed length function: one
@@ -23,13 +32,14 @@ pub struct Metric {
 
 impl Metric {
     /// Builds the metric with one Dijkstra per vertex, over a CSR
-    /// adjacency flattened once and shared by all `n` runs.
-    pub fn build(g: &Graph, len: &dyn Fn(EdgeId) -> f64) -> Self {
+    /// adjacency flattened once and shared by all `n` runs. The
+    /// per-source trees fan out over rayon workers (via
+    /// [`dijkstra_trees_csr_batch`]) and come back in source-index
+    /// order, so the metric is bit-identical at any thread count.
+    pub fn build(g: &Graph, len: &(dyn Fn(EdgeId) -> f64 + Sync)) -> Self {
         let csr = g.csr();
-        let trees = g
-            .vertices()
-            .map(|s| dijkstra_tree_csr(&csr, s, len))
-            .collect();
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let trees = dijkstra_trees_csr_batch(&csr, &sources, len);
         Metric { trees }
     }
 
@@ -84,9 +94,39 @@ pub struct FrtTree {
     chains: Vec<Vec<VertexId>>,
 }
 
+/// Tag mixed into per-tree seeds by [`FrtTree::sample_seeded`] callers
+/// (see [`sample_tree_routings_seeded`]), decorrelating tree streams from
+/// every other derived-seed stream in the workspace.
+const FRT_TREE_STREAM_TAG: u64 = 0xF27E_E5EE_DF12_7AB1;
+
+/// The derived seed for tree `index` of an ensemble built from `seed` —
+/// public so a single tree of a parallel ensemble can be reproduced in
+/// isolation.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_oblivious::frt::tree_seed;
+/// assert_eq!(tree_seed(7, 3), tree_seed(7, 3));
+/// assert_ne!(tree_seed(7, 3), tree_seed(7, 4));
+/// assert_ne!(tree_seed(7, 3), tree_seed(8, 3));
+/// ```
+pub fn tree_seed(seed: u64, index: usize) -> u64 {
+    mix_seed(seed ^ FRT_TREE_STREAM_TAG ^ mix_seed(index as u64))
+}
+
 impl FrtTree {
     /// Samples an FRT tree for the given metric: random permutation `pi`,
     /// random `beta in [1, 2)`, level-`i` radius `beta * 2^{i-2}`.
+    ///
+    /// This is the *serial compat path*: it consumes randomness from a
+    /// caller-threaded RNG, so consecutive samples are order-dependent
+    /// and cannot fan out over threads. New ensemble code should use
+    /// [`FrtTree::sample_seeded`] with [`tree_seed`]-derived per-tree
+    /// streams (see [`sample_tree_routings_seeded`]); this entry point is
+    /// kept for one release for callers that pin byte-stable outputs to
+    /// the threaded stream (the Räcke multiplicative-weights loop, whose
+    /// iterations are inherently sequential anyway).
     pub fn sample<R: Rng + ?Sized>(metric: &Metric, n: usize, rng: &mut R) -> Self {
         assert!(n >= 1);
         let mut pi: Vec<VertexId> = (0..n as VertexId).collect();
@@ -97,9 +137,16 @@ impl FrtTree {
 
         let diam = metric.diameter().max(1.0);
         // Smallest L with beta * 2^{L-2} >= diam (so the top level is a
-        // single cluster regardless of beta >= 1).
+        // single cluster regardless of beta >= 1). Computed in f64: for
+        // ordinary diameters this selects the identical level count as
+        // the former `1u64 << (L-2)` comparison (both sides are exact
+        // below 2^52), and for extreme but finite diameters — e.g. a
+        // length function spanning the full clamped ratio range — the
+        // loop keeps growing until the top radius genuinely covers the
+        // graph instead of overflowing a 64-bit shift.
+        let target = diam.ceil() * 2.0;
         let mut levels = 2usize;
-        while (1 << (levels - 2)) < diam.ceil() as u64 * 2 {
+        while 2f64.powi((levels - 2) as i32) < target {
             levels += 1;
         }
 
@@ -119,6 +166,17 @@ impl FrtTree {
             }
         }
         FrtTree { levels, chains }
+    }
+
+    /// Samples an FRT tree from its own derived RNG stream: a pure
+    /// function of `(metric, n, seed)`, independent of whatever other
+    /// trees are being sampled around it — which is what lets ensemble
+    /// builders fan tree sampling out over rayon workers with
+    /// thread-count-invariant output (each tree's stream never depends
+    /// on sampling order).
+    pub fn sample_seeded(metric: &Metric, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FrtTree::sample(metric, n, &mut rng)
     }
 
     /// Number of levels above the leaves.
@@ -214,6 +272,12 @@ impl TreeRouting {
 /// draw is wasteful; instead, [`RaeckeRouting`](crate::RaeckeRouting) holds a
 /// fixed mixture of [`TreeRouting`]s. This helper samples `count` trees
 /// over the hop metric — the plain "FRT ensemble" baseline.
+#[deprecated(
+    since = "0.1.0",
+    note = "serial compat shim (threaded RNG, cannot parallelize); use \
+            sample_tree_routings_seeded, which builds the ensemble in \
+            parallel from derived per-tree seed streams"
+)]
 pub fn sample_tree_routings<R: Rng + ?Sized>(
     g: &Graph,
     count: usize,
@@ -226,6 +290,52 @@ pub fn sample_tree_routings<R: Rng + ?Sized>(
             TreeRouting::new(Arc::clone(&metric), tree)
         })
         .collect()
+}
+
+/// Samples `count` hop-metric [`TreeRouting`]s in parallel, each from its
+/// own [`tree_seed`]-derived RNG stream.
+///
+/// Unlike the deprecated threaded-RNG `sample_tree_routings`, tree `i`'s
+/// randomness is a pure function of `(seed, i)`, so the trees fan out
+/// over rayon workers (index-ordered collect) and the ensemble is
+/// bit-identical at any thread count. The two samplers draw *different*
+/// (equally valid) ensembles from the same FRT distribution.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_oblivious::frt::sample_tree_routings_seeded;
+///
+/// let g = ssor_graph::generators::ring(8);
+/// let trees = sample_tree_routings_seeded(&g, 4, 7);
+/// assert_eq!(trees.len(), 4);
+/// // Deterministic per seed:
+/// let again = sample_tree_routings_seeded(&g, 4, 7);
+/// assert_eq!(trees[2].path(&g, 0, 5), again[2].path(&g, 0, 5));
+/// ```
+pub fn sample_tree_routings_seeded(g: &Graph, count: usize, seed: u64) -> Vec<TreeRouting> {
+    let metric = Arc::new(Metric::hops(g));
+    sample_trees_for_metric(g, &metric, count, seed)
+}
+
+/// Below this many trees the ensemble sampling stays serial (the
+/// vendored rayon shim spawns threads per call); wall-clock only, the
+/// derived seed streams make results identical either way.
+const ENSEMBLE_PAR_MIN_TREES: usize = 2;
+
+/// The seeded parallel ensemble core: `count` trees over a shared
+/// prebuilt metric, tree `i` drawn from [`tree_seed`]`(seed, i)`.
+pub(crate) fn sample_trees_for_metric(
+    g: &Graph,
+    metric: &Arc<Metric>,
+    count: usize,
+    seed: u64,
+) -> Vec<TreeRouting> {
+    let indices: Vec<usize> = (0..count).collect();
+    par_ordered_map(&indices, ENSEMBLE_PAR_MIN_TREES, |&i| {
+        let tree = Arc::new(FrtTree::sample_seeded(metric, g.n(), tree_seed(seed, i)));
+        TreeRouting::new(Arc::clone(metric), tree)
+    })
 }
 
 #[cfg(test)]
@@ -306,8 +416,7 @@ mod tests {
         // path stretch averaged over trees stays well below the diameter
         // blowup a bad embedding would give.
         let g = generators::ring(16);
-        let mut rng = StdRng::seed_from_u64(17);
-        let routings = sample_tree_routings(&g, 24, &mut rng);
+        let routings = sample_tree_routings_seeded(&g, 24, 17);
         let mut total_stretch = 0.0;
         let mut count = 0;
         for (s, t) in [(0u32, 1u32), (2, 3), (10, 11), (15, 0)] {
@@ -320,6 +429,78 @@ mod tests {
         let avg = total_stretch / count as f64;
         // log2(16) = 4; allow generous slack, but far below diameter 8.
         assert!(avg <= 6.0, "average stretch {avg} too large");
+    }
+
+    #[test]
+    fn seeded_ensemble_is_deterministic_and_order_independent() {
+        // Tree i is a pure function of (seed, i): the whole ensemble is
+        // reproducible, sensitive to the seed, and a larger ensemble is
+        // an extension of a smaller one (per-tree streams cannot shift).
+        let g = generators::grid(4, 4);
+        let a = sample_tree_routings_seeded(&g, 6, 3);
+        let b = sample_tree_routings_seeded(&g, 6, 3);
+        let c = sample_tree_routings_seeded(&g, 6, 4);
+        let prefix = sample_tree_routings_seeded(&g, 3, 3);
+        let pairs = [(0u32, 15u32), (3, 12), (5, 10)];
+        for (i, (ta, tb)) in a.iter().zip(b.iter()).enumerate() {
+            for &(s, t) in &pairs {
+                assert_eq!(ta.path(&g, s, t), tb.path(&g, s, t), "tree {i}");
+            }
+        }
+        for (i, tp) in prefix.iter().enumerate() {
+            for &(s, t) in &pairs {
+                assert_eq!(a[i].path(&g, s, t), tp.path(&g, s, t), "prefix tree {i}");
+            }
+        }
+        assert!(
+            pairs
+                .iter()
+                .any(|&(s, t)| { (0..6).any(|i| a[i].path(&g, s, t) != c[i].path(&g, s, t)) }),
+            "different seeds should differ somewhere"
+        );
+        for tr in &a {
+            for &(s, t) in &pairs {
+                let p = tr.path(&g, s, t);
+                assert!(p.is_simple() && p.is_valid(&g));
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn threaded_compat_shim_still_samples_valid_ensembles() {
+        // The serial compat path stays functional for one release.
+        let g = generators::ring(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let trees = sample_tree_routings(&g, 3, &mut rng);
+        assert_eq!(trees.len(), 3);
+        for tr in &trees {
+            let p = tr.path(&g, 0, 5);
+            assert!(p.is_simple() && p.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn extreme_but_finite_metrics_sample_without_overflow() {
+        // Huge length functions used to push the levels loop into a
+        // `1 << 64` overflow (or, with a capped shift, into a top radius
+        // that failed to cover the graph). The f64 loop must keep
+        // growing levels until the top cluster genuinely covers every
+        // vertex, for any finite diameter.
+        let g = generators::ring(6);
+        for big in [
+            1.099511627776e12, /* 2^40, the Raecke ratio clamp */
+            1e18,
+        ] {
+            let metric = Metric::build(&g, &move |e| if e == 0 { big } else { 1.0 });
+            let tree = FrtTree::sample_seeded(&metric, g.n(), 9);
+            assert!(tree.levels() >= 2);
+            let top = tree.levels();
+            let root = tree.chain(0)[top];
+            for v in g.vertices() {
+                assert_eq!(tree.chain(v)[top], root, "single top cluster (len {big})");
+            }
+        }
     }
 
     #[test]

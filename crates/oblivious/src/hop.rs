@@ -22,7 +22,7 @@
 use crate::traits::{DistributionBuilder, ObliviousRouting};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
-use ssor_graph::shortest_path::{bfs_tree_csr, SpTree};
+use ssor_graph::shortest_path::{bfs_trees_csr_batch, SpTree};
 use ssor_graph::{Graph, Path, VertexId};
 
 /// Options for [`HopConstrainedRouting::build`].
@@ -71,8 +71,11 @@ impl HopConstrainedRouting {
         all.shuffle(rng);
         let csr = g.csr();
         let landmarks: Vec<VertexId> = all.into_iter().take(opts.landmarks).collect();
-        let landmark_trees = landmarks.iter().map(|&w| bfs_tree_csr(&csr, w)).collect();
-        let source_trees = g.vertices().map(|s| bfs_tree_csr(&csr, s)).collect();
+        // Both tree families fan out over rayon workers in source-index
+        // order, so the build is bit-identical at any thread count.
+        let landmark_trees = bfs_trees_csr_batch(&csr, &landmarks);
+        let sources: Vec<VertexId> = g.vertices().collect();
+        let source_trees = bfs_trees_csr_batch(&csr, &sources);
         HopConstrainedRouting {
             graph: g.clone(),
             h,

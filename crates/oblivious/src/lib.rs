@@ -46,9 +46,11 @@ mod traits;
 mod valiant;
 
 pub use baselines::{EcmpRouting, KspRouting, ShortestPathRouting};
-pub use electrical::ElectricalRouting;
-pub use frt::{FrtTree, Metric, TreeRouting};
+pub use electrical::{ElectricalError, ElectricalRouting};
+pub use frt::{sample_tree_routings_seeded, tree_seed, FrtTree, Metric, TreeRouting};
 pub use hop::{HopConstrainedRouting, HopOptions};
 pub use raecke::{RaeckeOptions, RaeckeRouting};
-pub use traits::{validate_oblivious_routing, DistributionBuilder, ObliviousRouting};
+pub use traits::{
+    validate_oblivious_routing, DistributionBuilder, ObliviousRouting, TemplateStageStats,
+};
 pub use valiant::{BitFixingRouting, ValiantRouting};

@@ -9,12 +9,22 @@
 //! oracle with FRT trees over the adaptively re-weighted length metric.
 //! This is also precisely the construction SMORE `[KYY+18]` samples from in
 //! production traffic engineering.
+//!
+//! The multiplicative-weights *iterations* are inherently sequential (each
+//! metric depends on the previous loads), but everything inside one
+//! iteration is rayon-parallel with thread-count-invariant output: the
+//! all-pairs metric fans its Dijkstra trees over workers
+//! ([`Metric::build`]), and the canonical-load accumulation walks its `m`
+//! tree paths in fixed edge blocks merged through
+//! [`EdgeLoads::par_merge`]. Where the build time went is recorded as a
+//! [`TemplateStageStats`] (see [`RaeckeRouting::build_stats`]).
 
-use crate::frt::{FrtTree, Metric, TreeRouting};
-use crate::traits::{DistributionBuilder, ObliviousRouting};
+use crate::frt::{sample_trees_for_metric, FrtTree, Metric, TreeRouting};
+use crate::traits::{DistributionBuilder, ObliviousRouting, TemplateStageStats};
 use rand::{Rng, RngCore};
-use ssor_graph::{EdgeLoads, Graph, Path, VertexId};
+use ssor_graph::{par_ordered_map, EdgeLoads, Graph, Path, VertexId};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Options for [`RaeckeRouting::build`].
 #[derive(Debug, Clone)]
@@ -33,6 +43,26 @@ impl Default for RaeckeOptions {
         }
     }
 }
+
+/// Canonical demands are walked in fixed blocks of this many edges; the
+/// block structure is part of the deterministic contract (every partial
+/// is a sum of unit loads, so the merged result equals the serial sweep
+/// bit for bit at any thread count).
+const LOAD_BLOCK_EDGES: usize = 64;
+
+/// Cap on the multiplicative penalty exponent. Out-of-range learning
+/// rates (or a NaN load ratio) would otherwise push `exp` to infinity in
+/// a single step; `0.5 * ld / rho <= 0.5` in any sane configuration, so
+/// the clamp is bit-invisible there.
+const MAX_PENALTY_EXPONENT: f64 = 600.0;
+
+/// Cap on the max/min length ratio after renormalization (`2^40`).
+/// Repeated `exp` scaling grows the ratio by up to `e^epsilon` per
+/// iteration, which overflows to infinity (and then `inf/inf = NaN` once
+/// every edge is loaded) on long runs; relative lengths beyond this cap
+/// cannot meaningfully change a shortest path, so they saturate instead.
+/// Normal runs stay far below it and are bitwise unaffected.
+const MAX_LENGTH_RATIO: f64 = 1.099511627776e12;
 
 /// A mixture of FRT tree routings built by multiplicative weights.
 ///
@@ -57,6 +87,34 @@ pub struct RaeckeRouting {
     weights: Vec<f64>,
     /// Max relative load per iteration (diagnostic; Räcke's objective).
     relative_loads: Vec<f64>,
+    /// Where the construction spent its wall-clock.
+    stats: TemplateStageStats,
+}
+
+/// The canonical "every edge ships one unit between its endpoints" load
+/// of one tree routing: `canonical` lists the endpoint pairs (with
+/// multiplicity for parallel edges), walked in fixed
+/// [`LOAD_BLOCK_EDGES`]-sized blocks fanned over rayon workers and merged
+/// in block order. All contributions are exact unit sums, so the result
+/// is bit-identical to the serial edge-order sweep at any thread count.
+fn canonical_loads(g: &Graph, tr: &TreeRouting, canonical: &[(VertexId, VertexId)]) -> EdgeLoads {
+    let m = g.m();
+    let block_load = |chunk: &[(VertexId, VertexId)]| {
+        let mut load = EdgeLoads::zeros(m);
+        for &(u, v) in chunk {
+            load.add_edges(tr.path(g, u, v).edges(), 1.0);
+        }
+        load
+    };
+    let blocks: Vec<&[(VertexId, VertexId)]> = canonical.chunks(LOAD_BLOCK_EDGES).collect();
+    // One worker (or one block): a single accumulation pass, no partials
+    // to materialize. Unit sums are exact, so both paths agree bit for
+    // bit.
+    if blocks.len() == 1 || rayon::current_num_threads() == 1 {
+        return block_load(canonical);
+    }
+    let partials = par_ordered_map(&blocks, 2, |chunk| block_load(chunk));
+    EdgeLoads::par_merge(&partials)
 }
 
 impl RaeckeRouting {
@@ -68,6 +126,11 @@ impl RaeckeRouting {
     /// tree and record each edge's load, (4) multiplicatively penalize
     /// loaded edges so the next tree avoids them.
     ///
+    /// Steps (1) and (3) run rayon-parallel with thread-count-invariant
+    /// output; step (2) deliberately stays on the caller's threaded RNG
+    /// (the serial compat stream) because the iterations are sequential
+    /// anyway — see [`FrtTree::sample`].
+    ///
     /// # Panics
     ///
     /// Panics if `g` is disconnected or has no edges.
@@ -75,47 +138,120 @@ impl RaeckeRouting {
         assert!(g.m() > 0, "graph must have edges");
         assert!(g.is_connected(), "Raecke routing needs a connected graph");
         assert!(opts.iterations > 0);
+        let build_start = Instant::now();
         let m = g.m();
+        let canonical: Vec<(VertexId, VertexId)> = g.edges().map(|(_, uv)| uv).collect();
         let mut lengths = vec![1.0f64; m];
         let mut trees = Vec::with_capacity(opts.iterations);
         let mut relative_loads = Vec::with_capacity(opts.iterations);
+        let mut stats = TemplateStageStats::default();
 
         for _ in 0..opts.iterations {
             let lens = lengths.clone();
+            let stage = Instant::now();
             let metric = Arc::new(Metric::build(g, &move |e| lens[e as usize]));
+            stats.metric_wall += stage.elapsed();
+
+            let stage = Instant::now();
             let tree = Arc::new(FrtTree::sample(&metric, g.n(), rng));
             let tr = TreeRouting::new(Arc::clone(&metric), tree);
+            stats.tree_wall += stage.elapsed();
 
-            // Canonical demand: one unit between the endpoints of every
-            // edge (so parallel edges contribute multiplicity). Relative
-            // load of edge f = number of canonical units crossing f.
-            let mut load = EdgeLoads::zeros(m);
-            for (_, (u, v)) in g.edges() {
-                let p = tr.path(g, u, v);
-                load.add_edges(p.edges(), 1.0);
-            }
+            let stage = Instant::now();
+            let load = canonical_loads(g, &tr, &canonical);
+            stats.load_wall += stage.elapsed();
             let rho = load.max().max(1.0);
             relative_loads.push(rho);
 
             // Multiplicative penalty, then renormalize to keep lengths
-            // bounded.
+            // bounded. The exponent and ratio clamps only bite in
+            // degenerate regimes (huge learning rates, very long runs)
+            // where the unclamped update overflows to inf/NaN.
             for (l, ld) in lengths.iter_mut().zip(load.iter()) {
-                *l *= (opts.epsilon * ld / rho).exp();
+                *l *= (opts.epsilon * ld / rho).min(MAX_PENALTY_EXPONENT).exp();
             }
             let min_len = lengths.iter().cloned().fold(f64::INFINITY, f64::min);
             for l in lengths.iter_mut() {
-                *l /= min_len;
+                *l = (*l / min_len).min(MAX_LENGTH_RATIO);
             }
 
             trees.push(tr);
         }
+        stats.total_wall = build_start.elapsed();
         let w = 1.0 / trees.len() as f64;
         RaeckeRouting {
             graph: g.clone(),
             weights: vec![w; trees.len()],
             relative_loads,
             trees,
+            stats,
         }
+    }
+
+    /// A uniform mixture over explicitly-provided tree routings (no
+    /// multiplicative-weights adaptation) — the carrier for the plain
+    /// "FRT ensemble" template built by [`RaeckeRouting::frt_ensemble`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees` is empty.
+    pub fn uniform_mixture(g: &Graph, trees: Vec<TreeRouting>) -> Self {
+        assert!(!trees.is_empty(), "a mixture needs at least one tree");
+        let w = 1.0 / trees.len() as f64;
+        RaeckeRouting {
+            graph: g.clone(),
+            weights: vec![w; trees.len()],
+            relative_loads: Vec::new(),
+            trees,
+            stats: TemplateStageStats::default(),
+        }
+    }
+
+    /// The plain FRT-ensemble template: `count` hop-metric trees, each
+    /// sampled from its own derived seed stream
+    /// ([`crate::frt::tree_seed`]), mixed uniformly.
+    ///
+    /// Unlike [`RaeckeRouting::build`], every tree here is independent of
+    /// the others, so the whole ensemble fans out over rayon workers —
+    /// the construction is a pure, thread-count-invariant function of
+    /// `(g, count, seed)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_oblivious::{ObliviousRouting, RaeckeRouting};
+    ///
+    /// let g = ssor_graph::generators::grid(3, 3);
+    /// let r = RaeckeRouting::frt_ensemble(&g, 8, 42);
+    /// assert_eq!(r.trees().len(), 8);
+    /// let dist = r.path_distribution(0, 8);
+    /// let total: f64 = dist.iter().map(|(_, w)| w).sum();
+    /// assert!((total - 1.0).abs() < 1e-9);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `g` has no edges, or `g` is disconnected.
+    pub fn frt_ensemble(g: &Graph, count: usize, seed: u64) -> Self {
+        assert!(count > 0, "ensemble needs at least one tree");
+        assert!(g.m() > 0, "graph must have edges");
+        assert!(g.is_connected(), "FRT ensemble needs a connected graph");
+        let build_start = Instant::now();
+        let stage = Instant::now();
+        let metric = Arc::new(Metric::hops(g));
+        let metric_wall = stage.elapsed();
+        let stage = Instant::now();
+        let trees = sample_trees_for_metric(g, &metric, count, seed);
+        let tree_wall = stage.elapsed();
+        let mut mixture = RaeckeRouting::uniform_mixture(g, trees);
+        mixture.stats = TemplateStageStats {
+            metric_wall,
+            tree_wall,
+            load_wall: std::time::Duration::ZERO,
+            total_wall: build_start.elapsed(),
+            tree_stage_parallel: true,
+        };
+        mixture
     }
 
     /// The trees in the mixture.
@@ -123,7 +259,8 @@ impl RaeckeRouting {
         &self.trees
     }
 
-    /// Max relative load observed at each iteration (diagnostic).
+    /// Max relative load observed at each iteration (diagnostic; empty
+    /// for mixtures not built by multiplicative weights).
     pub fn relative_loads(&self) -> &[f64] {
         &self.relative_loads
     }
@@ -136,13 +273,22 @@ impl ObliviousRouting for RaeckeRouting {
 
     fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path {
         assert_ne!(s, t);
-        let mut x = rng.gen::<f64>();
+        // Renormalized CDF: scale the uniform draw by the actual weight
+        // sum, so floating-point shortfall (weights summing to slightly
+        // under 1) cannot silently shift residual mass onto the last
+        // tree — tree `i` is drawn with probability `w_i / total`,
+        // matching `path_distribution` exactly.
+        let total: f64 = self.weights.iter().sum();
+        let mut x = rng.gen::<f64>() * total;
         for (tr, &w) in self.trees.iter().zip(self.weights.iter()) {
             x -= w;
             if x <= 0.0 {
                 return tr.path(&self.graph, s, t);
             }
         }
+        // Unreachable for positive weights (the subtractions telescope
+        // to `(u - 1) * total <= 0`); kept as a safe landing for an
+        // all-zero-weight mixture.
         self.trees.last().unwrap().path(&self.graph, s, t)
     }
 
@@ -153,6 +299,10 @@ impl ObliviousRouting for RaeckeRouting {
             acc.add(&tr.path(&self.graph, s, t), w);
         }
         acc.finish()
+    }
+
+    fn build_stats(&self) -> Option<TemplateStageStats> {
+        Some(self.stats)
     }
 }
 
@@ -174,6 +324,9 @@ mod tests {
         let pairs: Vec<(u32, u32)> = vec![(0, 8), (2, 6), (1, 7), (3, 5)];
         validate_oblivious_routing(&r, &pairs).unwrap();
         assert_eq!(r.trees().len(), 12);
+        let stats = r.build_stats().expect("raecke tracks build stats");
+        assert!(stats.total_wall.as_nanos() > 0);
+        assert!(stats.metric_wall + stats.tree_wall + stats.load_wall <= stats.total_wall * 2);
     }
 
     #[test]
@@ -223,6 +376,51 @@ mod tests {
     }
 
     #[test]
+    fn extreme_learning_rates_survive_without_nan() {
+        // Regression: repeated `exp` scaling used to drive length ratios
+        // to inf (then `inf/inf = NaN` once every edge was loaded), which
+        // poisoned the metric and eventually overflowed the FRT levels
+        // loop. The exponent/ratio clamps must keep long, hot runs finite
+        // and the resulting mixture valid.
+        let g = generators::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = RaeckeRouting::build(
+            &g,
+            &RaeckeOptions {
+                iterations: 40,
+                epsilon: 50.0,
+            },
+            &mut rng,
+        );
+        assert_eq!(r.relative_loads().len(), 40);
+        for &rho in r.relative_loads() {
+            assert!(rho.is_finite() && rho >= 1.0, "rho = {rho}");
+        }
+        validate_oblivious_routing(&r, &[(0, 8), (2, 6)]).unwrap();
+    }
+
+    #[test]
+    fn high_iteration_runs_stay_finite() {
+        // The same overflow reached via many mild steps instead of a few
+        // huge ones: 600 iterations at epsilon 2.0 pushes the unclamped
+        // ratio toward e^1200 >> f64::MAX.
+        let g = generators::ring(6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = RaeckeRouting::build(
+            &g,
+            &RaeckeOptions {
+                iterations: 600,
+                epsilon: 2.0,
+            },
+            &mut rng,
+        );
+        for &rho in r.relative_loads() {
+            assert!(rho.is_finite(), "rho = {rho}");
+        }
+        validate_oblivious_routing(&r, &[(0, 3), (1, 4)]).unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "connected")]
     fn rejects_disconnected_graphs() {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
@@ -252,5 +450,66 @@ mod tests {
             let p = r.sample_path(0, 8, &mut rng2);
             assert!(support.contains(&p.edges().to_vec()));
         }
+    }
+
+    #[test]
+    fn sampling_renormalizes_short_weight_sums() {
+        // Regression: when floating-point weights sum to less than 1, the
+        // shortfall used to land entirely on the last tree. The CDF is
+        // now renormalized, so empirical frequencies must match
+        // `path_distribution` weights *renormalized by their sum*.
+        let g = generators::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut r = RaeckeRouting::build(
+            &g,
+            &RaeckeOptions {
+                iterations: 2,
+                epsilon: 0.5,
+            },
+            &mut rng,
+        );
+        // Deliberately short weight sum: 0.25 + 0.375 = 0.625.
+        r.weights = vec![0.25, 0.375];
+        let dist = r.path_distribution(0, 8);
+        let total: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total - 0.625).abs() < 1e-12);
+
+        let mut counts = vec![0usize; dist.len()];
+        let draws = 4000u64;
+        for seed in 0..draws {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let p = r.sample_path(0, 8, &mut rng2);
+            let i = dist
+                .iter()
+                .position(|(q, _)| q.edges() == p.edges())
+                .expect("sampled path must come from the distribution");
+            counts[i] += 1;
+        }
+        for (i, (_, w)) in dist.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.05,
+                "path {i}: sampled {got:.3}, mixture says {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn frt_ensemble_is_deterministic_and_valid() {
+        let g = generators::grid(3, 4);
+        let a = RaeckeRouting::frt_ensemble(&g, 6, 21);
+        let b = RaeckeRouting::frt_ensemble(&g, 6, 21);
+        validate_oblivious_routing(&a, &[(0, 11), (3, 8), (1, 10)]).unwrap();
+        for (s, t) in [(0u32, 11u32), (2, 9)] {
+            assert_eq!(a.path_distribution(s, t), b.path_distribution(s, t));
+        }
+        assert!(a.relative_loads().is_empty(), "no MW adaptation ran");
+        let stats = a.build_stats().expect("ensemble tracks build stats");
+        assert_eq!(stats.load_wall.as_nanos(), 0);
+        // Seeded ensembles sample trees in parallel, so the tree stage
+        // counts toward the parallel share (~100% for this template).
+        assert!(stats.tree_stage_parallel);
+        assert!(stats.parallel_share() > 0.8, "{}", stats.parallel_share());
     }
 }

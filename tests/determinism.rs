@@ -14,12 +14,17 @@
 //! ways: this test sweeps thread counts in-process, and the CI variant
 //! re-runs every other test off the single-thread default.
 
+use proptest::prelude::*;
 use rand::SeedableRng;
 use ssor::core::PathSystem;
 use ssor::engine::{DynamicReport, PathSystemCache, Pipeline, ScenarioSpec, StreamModel};
 use ssor::flow::solver::{min_congestion_masked, min_congestion_unrestricted, DemandDelta, Solver};
 use ssor::flow::{AllPathsOracle, Demand, SolveOptions};
 use ssor::graph::generators;
+use ssor::graph::Graph;
+use ssor::oblivious::{
+    frt::sample_tree_routings_seeded, Metric, ObliviousRouting, RaeckeOptions, RaeckeRouting,
+};
 use std::sync::{Mutex, MutexGuard};
 
 /// `RAYON_NUM_THREADS` is process-global and the vendored shim reads it
@@ -191,6 +196,128 @@ fn solver_entry_points_are_thread_count_invariant() {
             solve_all(threads),
             "solver results differ at {threads} threads"
         );
+    }
+}
+
+/// One full template-layer construction at a pinned thread count,
+/// reduced to comparable bits: the all-pairs metric (every pairwise
+/// distance's bit pattern), a seeded FRT ensemble (every routed path),
+/// and a full Räcke build (relative loads + the mixture's distribution
+/// weights and supports).
+fn template_fingerprint(threads: usize, g: &Graph) -> (Vec<u64>, Vec<Vec<u32>>, Vec<u64>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    assert_eq!(
+        rayon::current_num_threads(),
+        threads,
+        "worker-count override not honored; thread sweep would be vacuous"
+    );
+    let lens: Vec<f64> = (0..g.m()).map(|e| 1.0 + (e % 5) as f64 * 0.25).collect();
+    let metric = Metric::build(g, &|e| lens[e as usize]);
+    let mut dist_bits = Vec::new();
+    for s in g.vertices() {
+        for t in g.vertices() {
+            dist_bits.push(metric.dist(s, t).to_bits());
+        }
+    }
+
+    let pairs: Vec<(u32, u32)> = vec![(0, g.n() as u32 - 1), (1, g.n() as u32 / 2), (2, 7)];
+    let trees = sample_tree_routings_seeded(g, 8, 21);
+    let mut ensemble_paths = Vec::new();
+    for tr in &trees {
+        for &(s, t) in &pairs {
+            ensemble_paths.push(tr.path(g, s, t).edges().to_vec());
+        }
+    }
+
+    let raecke = RaeckeRouting::build(
+        g,
+        &RaeckeOptions {
+            iterations: 8,
+            epsilon: 0.5,
+        },
+        &mut rand::rngs::StdRng::seed_from_u64(5),
+    );
+    let mut raecke_bits: Vec<u64> = raecke
+        .relative_loads()
+        .iter()
+        .map(|r| r.to_bits())
+        .collect();
+    for &(s, t) in &pairs {
+        for (p, w) in raecke.path_distribution(s, t) {
+            raecke_bits.push(w.to_bits());
+            raecke_bits.extend(p.edges().iter().map(|&e| e as u64));
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    (dist_bits, ensemble_paths, raecke_bits)
+}
+
+/// Template construction — the parallel all-pairs metric, seeded FRT
+/// ensembles, and the full Räcke multiplicative-weights build — must be
+/// bit-identical at any rayon worker count (index-ordered Dijkstra
+/// fan-out, per-tree derived seed streams, fixed-block canonical-load
+/// merges).
+#[test]
+fn template_construction_is_thread_count_invariant() {
+    let _guard = env_lock();
+    // A Waxman WAN: irregular degrees and real-valued metric lengths,
+    // large enough that every parallel cutoff in the template layer is
+    // crossed (n Dijkstra sources, 8 trees, m/64 > 1 load blocks).
+    let (g, _, _) = generators::waxman_connected(40, 0.4, 0.25, 9, 16);
+    let base = template_fingerprint(1, &g);
+    for threads in [2usize, 8] {
+        let got = template_fingerprint(threads, &g);
+        assert_eq!(
+            base.0, got.0,
+            "all-pairs metric differs at {threads} threads"
+        );
+        assert_eq!(
+            base.1, got.1,
+            "FRT ensemble paths differ at {threads} threads"
+        );
+        assert_eq!(base.2, got.2, "Raecke build differs at {threads} threads");
+    }
+}
+
+proptest! {
+    /// The rayon-parallel `Metric::build` must agree bitwise with a
+    /// serial per-source Dijkstra reference on random weighted
+    /// multigraphs (whatever the ambient worker count happens to be —
+    /// determinism means the comparison holds under every scheduler).
+    #[test]
+    fn parallel_metric_matches_serial_reference(
+        n in 2usize..14,
+        p in 0.1f64..0.9,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        // Held per case: the parallel build below reads
+        // RAYON_NUM_THREADS through the shim, which must not race the
+        // thread-sweep tests' set_var/remove_var windows.
+        let _guard = env_lock();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = generators::erdos_renyi(n, p, &mut rng);
+        let m0 = g.m();
+        for _ in 0..extra.min(m0) {
+            let (u, v) = g.endpoints(rng.gen_range(0..m0) as u32);
+            g.add_edge(u, v);
+        }
+        let lens: Vec<f64> = (0..g.m()).map(|_| 0.5 + rng.gen::<f64>() * 3.0).collect();
+        let metric = Metric::build(&g, &|e| lens[e as usize]);
+        let csr = g.csr();
+        for s in g.vertices() {
+            let reference = ssor::graph::shortest_path::dijkstra_tree_csr(
+                &csr, s, &|e| lens[e as usize],
+            );
+            for t in g.vertices() {
+                prop_assert_eq!(
+                    metric.dist(s, t).to_bits(),
+                    reference.dist_to(t).to_bits(),
+                    "({}, {})", s, t
+                );
+            }
+        }
     }
 }
 
