@@ -1,0 +1,231 @@
+//! The standing perf harness: pinned benchmark groups whose wall-time
+//! medians are written to `BENCH_pipeline.json`, `BENCH_solver.json`,
+//! and `BENCH_templates.json` **at the repo root** each PR, so the perf
+//! trajectory between PRs is a recorded number instead of a guess.
+//!
+//! Contract (see README "Perf trajectory"):
+//!
+//! * specs and seeds are **pinned** — a changed median means the *code*
+//!   changed speed, not the workload;
+//! * rounds are **interleaved** (round-robin across the group per
+//!   round), so ambient machine noise spreads evenly across benches
+//!   instead of biasing whichever ran last;
+//! * the recorded statistic is the **median** of an odd number of
+//!   rounds, with min/max kept for spread.
+//!
+//! `--smoke` swaps in tiny specs (seconds, for CI liveness + JSON-shape
+//! checking); the committed records always come from a full run:
+//! `cargo run --release -p ssor-bench --bin bench_trajectory`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use ssor_bench::{save_json_at_root, Table};
+use ssor_core::sample::alpha_sample;
+use ssor_engine::{DemandSpec, PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
+use ssor_flow::solver::{
+    min_congestion_masked, min_congestion_restricted, min_congestion_unrestricted,
+};
+use ssor_flow::{Demand, SolveOptions};
+use ssor_graph::generators;
+use ssor_oblivious::frt::{FrtTree, Metric};
+use ssor_oblivious::{ObliviousRouting, RaeckeOptions, RaeckeRouting, ValiantRouting};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRow {
+    name: String,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Serialize)]
+struct BenchGroup {
+    group: String,
+    mode: String,
+    rounds: usize,
+    benches: Vec<BenchRow>,
+}
+
+type Bench<'a> = (String, Box<dyn FnMut() + 'a>);
+
+/// Runs `benches` for `rounds` interleaved rounds (after one untimed
+/// warmup round) and writes `BENCH_<group>.json` at the repo root.
+fn run_group(group: &str, mode: &str, rounds: usize, mut benches: Vec<Bench<'_>>) {
+    assert!(rounds % 2 == 1, "odd round count keeps the median a sample");
+    for (_, f) in benches.iter_mut() {
+        f();
+    }
+    let mut times: Vec<Vec<u64>> = vec![Vec::with_capacity(rounds); benches.len()];
+    for _ in 0..rounds {
+        for (i, (_, f)) in benches.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            f();
+            times[i].push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    let rows: Vec<BenchRow> = benches
+        .iter()
+        .zip(times.iter_mut())
+        .map(|((name, _), ts)| {
+            ts.sort_unstable();
+            BenchRow {
+                name: name.clone(),
+                median_ns: ts[ts.len() / 2],
+                min_ns: ts[0],
+                max_ns: ts[ts.len() - 1],
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(&["bench", "median", "min", "max"]);
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            format!("{:.1?}", std::time::Duration::from_nanos(r.median_ns)),
+            format!("{:.1?}", std::time::Duration::from_nanos(r.min_ns)),
+            format!("{:.1?}", std::time::Duration::from_nanos(r.max_ns)),
+        ]);
+    }
+    println!("\n== {group} ({mode}, {rounds} interleaved rounds) ==");
+    table.print();
+    let record = BenchGroup {
+        group: group.to_string(),
+        mode: mode.to_string(),
+        rounds,
+        benches: rows,
+    };
+    match save_json_at_root(&format!("BENCH_{group}"), &record) {
+        Some(p) => println!("-> {}", p.display()),
+        None => eprintln!("warning: could not write BENCH_{group}.json"),
+    }
+}
+
+fn pipeline_group(smoke: bool) -> Vec<Bench<'static>> {
+    let (dim, sweep_dim) = if smoke { (4, 3) } else { (6, 5) };
+    let mk = move || {
+        Pipeline::on(TopologySpec::Hypercube { dim })
+            .template(TemplateSpec::Valiant)
+            .alpha(4)
+            .seed(9)
+            .solve_options(SolveOptions::with_eps(0.1))
+            .demand("bit-reversal", DemandSpec::BitReversal)
+    };
+    let warm_cache = PathSystemCache::new();
+    mk().run(&warm_cache);
+    let sweep = Pipeline::on(TopologySpec::Hypercube { dim: sweep_dim })
+        .template(TemplateSpec::Valiant)
+        .alpha(3)
+        .seed(5)
+        .solve_options(SolveOptions::with_eps(0.1))
+        .without_opt()
+        .demand("complement", DemandSpec::Complement);
+    let sweep_cache = PathSystemCache::new();
+    sweep.prepare(&sweep_cache);
+    let trials = if smoke { 2 } else { 4 };
+    vec![
+        (
+            format!("pipeline_cold_hypercube{dim}_alpha4"),
+            Box::new(move || {
+                mk().run(&PathSystemCache::new());
+            }),
+        ),
+        (
+            format!("pipeline_warm_hypercube{dim}_alpha4"),
+            Box::new(move || {
+                mk().run(&warm_cache);
+            }),
+        ),
+        (
+            format!("failure_sweep_hypercube{sweep_dim}_k2_t{trials}"),
+            Box::new(move || {
+                sweep.failure_sweep(&sweep_cache, 2, trials);
+            }),
+        ),
+    ]
+}
+
+fn solver_group(smoke: bool) -> Vec<Bench<'static>> {
+    let dim = if smoke { 4u32 } else { 6 };
+    let perm = if smoke { 16usize } else { 64 };
+    let valiant = ValiantRouting::new(dim);
+    let d = Demand::hypercube_bit_reversal(dim);
+    let mut rng = StdRng::seed_from_u64(4);
+    let ps = alpha_sample(&valiant, &d.support(), 4, &mut rng);
+    let opts = SolveOptions::with_eps(0.1);
+    let q = generators::hypercube(dim);
+    let dbig = Demand::random_permutation(perm, &mut rng);
+    let mut sub = q.sub_topology();
+    for e in [3u32, 31, 77, 120] {
+        if (e as usize) < q.m() {
+            sub.fail_edge(e);
+        }
+    }
+    let usable = sub.usable_edges();
+    vec![
+        (
+            format!("restricted_mwu_hypercube{dim}_alpha4"),
+            Box::new({
+                let (valiant, d, ps, opts) = (valiant, d, ps, opts.clone());
+                move || {
+                    min_congestion_restricted(valiant.graph(), &d, ps.candidates(), &opts);
+                }
+            }),
+        ),
+        (
+            format!("offline_opt_hypercube{dim}_perm{perm}"),
+            Box::new({
+                let (q, dbig, opts) = (q.clone(), dbig.clone(), opts.clone());
+                move || {
+                    min_congestion_unrestricted(&q, &dbig, &opts);
+                }
+            }),
+        ),
+        (
+            format!("masked_opt_hypercube{dim}_perm{perm}_k4"),
+            Box::new(move || {
+                min_congestion_masked(&q, &dbig, &usable, &opts);
+            }),
+        ),
+    ]
+}
+
+fn templates_group(smoke: bool) -> Vec<Bench<'static>> {
+    let (r_rows, f_rows, iters) = if smoke { (3, 4, 4) } else { (5, 8, 8) };
+    let small = generators::grid(r_rows, r_rows);
+    let big = generators::grid(f_rows, f_rows);
+    let metric = Metric::hops(&big);
+    let n = big.n();
+    vec![
+        (
+            format!("raecke_build_grid{r_rows}x{r_rows}_{iters}trees"),
+            Box::new(move || {
+                RaeckeRouting::build(
+                    &small,
+                    &RaeckeOptions {
+                        iterations: iters,
+                        epsilon: 0.5,
+                    },
+                    &mut StdRng::seed_from_u64(2),
+                );
+            }),
+        ),
+        (
+            format!("frt_sample_grid{f_rows}x{f_rows}"),
+            Box::new(move || {
+                FrtTree::sample(&metric, n, &mut StdRng::seed_from_u64(1));
+            }),
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (mode, rounds) = if smoke { ("smoke", 3) } else { ("full", 7) };
+    println!("ssor perf trajectory ({mode} mode): pinned specs, interleaved medians");
+    run_group("pipeline", mode, rounds, pipeline_group(smoke));
+    run_group("solver", mode, rounds, solver_group(smoke));
+    run_group("templates", mode, rounds, templates_group(smoke));
+    println!("\ntrajectory records written; commit the BENCH_*.json from a full release run.");
+}

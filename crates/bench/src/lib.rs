@@ -89,6 +89,18 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
     Some(path)
 }
 
+/// Writes `value` as pretty JSON to `<workspace-root>/<name>.json` — the
+/// home of the standing perf-trajectory records (`BENCH_pipeline.json`,
+/// `BENCH_solver.json`, `BENCH_templates.json`), which live at the repo
+/// root (committed each PR) rather than under the gitignored `results/`.
+/// Returns the path, or `None` if the filesystem refused.
+pub fn save_json_at_root<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let path = PathBuf::from(env_root()).join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).ok()?;
+    fs::write(&path, body).ok()?;
+    Some(path)
+}
+
 fn env_root() -> String {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|p| format!("{p}/../.."))

@@ -51,9 +51,11 @@
 
 mod cache;
 mod pipeline;
+mod report_json;
 pub mod sampling;
 mod spec;
 mod stream;
+pub mod sweep;
 
 pub use cache::{
     CacheStats, OptBounds, PathSystemCache, SharedTemplate, TemplateBuildStats, TemplateBuilder,
@@ -63,3 +65,4 @@ pub use spec::{
     DemandSpec, Param, ResolveCtx, ScenarioSpec, StreamModel, TemplateSpec, TopologySpec,
 };
 pub use stream::{DynamicReport, FailureSweepReport, FailureTrial, StreamReport, StreamStep};
+pub use sweep::{run_sweep, CellRecord, SweepCell, SweepOptions, SweepOutcome};

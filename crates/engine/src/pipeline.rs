@@ -13,6 +13,7 @@ use crate::cache::{
 use crate::sampling::{mix, par_alpha_sample};
 use crate::spec::{DemandSpec, ResolveCtx, StreamModel, TemplateSpec, TopologySpec};
 use crate::stream::{FailureSweepReport, FailureTrial, StreamReport, StreamStep};
+use crate::sweep::{self, SweepOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -26,7 +27,7 @@ use ssor_flow::solver::{
     Solver,
 };
 use ssor_flow::{Demand, SolveOptions};
-use ssor_graph::{EdgeId, Graph, SubTopology};
+use ssor_graph::{derive_seed, EdgeId, Graph, SubTopology};
 use ssor_lowerbound::graphs::CGraphMeta;
 use ssor_sim::{simulate_routing, SimConfig};
 use std::sync::Arc;
@@ -615,9 +616,17 @@ impl Pipeline {
                 if d.is_empty() || !d.is_integral() {
                     return None;
                 }
-                let mut rng = StdRng::seed_from_u64(self.seed ^ SIM_STREAM_TAG ^ mix(step as u64));
+                // Per-step streams via the shared `derive_seed` helper —
+                // the same derivation the failure sweep and the sweep
+                // scheduler use. Stream-compat note: this replaced an
+                // ad-hoc `seed ^ TAG ^ mix(step)` XOR composition, so
+                // makespans differ from pre-sweep-layer runs; nothing
+                // golden pins the old stream (makespans are seed-local
+                // quantities), and congestion records are unaffected.
+                let mut rng =
+                    StdRng::seed_from_u64(derive_seed(self.seed ^ SIM_STREAM_TAG, step as u64));
                 let rounded = round_routing(g, &sol.routing, &d, 16, &mut rng);
-                let cfg = cfg.with_seed(cfg.seed ^ mix(step as u64));
+                let cfg = cfg.with_seed(derive_seed(cfg.seed, step as u64));
                 Some(simulate_routing(g, &rounded.routing, &cfg).makespan)
             });
             records.push(StreamStep {
@@ -681,6 +690,24 @@ impl Pipeline {
         k_failures: usize,
         trials: usize,
     ) -> FailureSweepReport {
+        self.failure_sweep_sharded(cache, k_failures, trials, None)
+    }
+
+    /// [`Pipeline::failure_sweep`] with an explicit worker count: the
+    /// trials are sharded across the [`crate::sweep`] scheduler (each
+    /// trial is one cell), `threads = None` follows the ambient rayon
+    /// setting and `Some(n)` pins it for this sweep. Because every
+    /// trial's RNG stream is derived from `(seed, trial, attempt)` alone
+    /// and records are assembled in trial order, the report is
+    /// bit-identical at every worker count — and to the serial
+    /// implementation this rewires.
+    pub fn failure_sweep_sharded(
+        &self,
+        cache: &PathSystemCache,
+        k_failures: usize,
+        trials: usize,
+        threads: Option<usize>,
+    ) -> FailureSweepReport {
         let start = Instant::now();
         let prepared = self.prepare(cache);
         let g = prepared.graph();
@@ -707,15 +734,27 @@ impl Pipeline {
                 Solver::solve(g, d, &mut oracle, &self.solve)
             })
             .collect();
-        let mut sub = g.sub_topology();
-        let mut records = Vec::with_capacity(trials * demands.len());
-        for trial in 0..trials {
+        // Each trial is one sweep cell over the shared read-only context
+        // (path system, resolved demands, warm base solvers). The cell
+        // seed the scheduler derives is unused: the trial streams keep
+        // their own `derive_seed`-based derivation (see
+        // `draw_failures`), unchanged from the serial implementation.
+        let cells = sweep::cells(0..trials);
+        let opts = SweepOptions {
+            master_seed: self.seed,
+            threads,
+            ..SweepOptions::default()
+        };
+        let outcome = sweep::run_sweep(&cells, &opts, |cell, _cell_seed| {
+            let trial = cell.payload;
+            let mut sub = g.sub_topology();
             let (dead, attempts) = self.draw_failures(&mut sub, k_failures, trial);
             let mut survivors = prepared.paths().clone();
             for &e in &dead {
                 survivors.remove_paths_through(e);
             }
             let usable = sub.usable_edges();
+            let mut records = Vec::with_capacity(demands.len());
             for ((name, d), warm0) in demands.iter().zip(base_warm.iter()) {
                 let covered = d.filtered(|s, t, _| survivors.covers_pair(s, t));
                 let coverage = if d.support_len() == 0 {
@@ -777,10 +816,20 @@ impl Pipeline {
                     ratio,
                 });
             }
-            sub.restore_all();
-        }
+            records
+        });
+        // Records come back in ascending cell id = trial order, demands
+        // inner — the exact order the serial loop produced.
+        let trials_flat: Vec<FailureTrial> = outcome
+            .records
+            .into_iter()
+            .flat_map(|r| {
+                r.result
+                    .expect("no journal configured: every cell is fresh")
+            })
+            .collect();
         FailureSweepReport {
-            trials: records,
+            trials: trials_flat,
             wall: start.elapsed(),
             template: prepared.template_stats(),
         }
@@ -796,13 +845,15 @@ impl Pipeline {
         let mut dead: Vec<EdgeId> = Vec::new();
         for attempt in 0..MAX_ATTEMPTS {
             sub.restore_all();
-            // Nested (not XOR-ed) mixing: `mix(a) ^ mix(b)` is symmetric,
-            // so it would collide distinct (trial, attempt) pairs — e.g.
-            // every trial == attempt would share one seed.
-            let mut rng = StdRng::seed_from_u64(mix(mix(self.seed
-                ^ FAILURE_STREAM_TAG
-                ^ mix(trial as u64))
-                ^ attempt as u64));
+            // One source of truth for per-item streams: the retry layer
+            // is `derive_seed(trial_master, attempt)`, whose nested
+            // mixing keeps distinct (trial, attempt) pairs on distinct
+            // streams (an XOR of finalized values would be symmetric
+            // and collide them). `derive_seed(m, i)` expands to
+            // `mix(mix(m) ^ i)` — byte-identical to the derivation this
+            // replaced, so historical failure draws are preserved.
+            let trial_master = self.seed ^ FAILURE_STREAM_TAG ^ mix(trial as u64);
+            let mut rng = StdRng::seed_from_u64(derive_seed(trial_master, attempt as u64));
             // Partial Fisher–Yates: k distinct edge ids.
             let mut ids: Vec<EdgeId> = (0..m as EdgeId).collect();
             for i in 0..k {

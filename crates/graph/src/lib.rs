@@ -58,7 +58,7 @@ mod subtopology;
 pub use csr::{Adjacency, Csr, EdgeView, FullTopology};
 pub use graph::{Arc, EdgeId, Graph, VertexId};
 pub use load::EdgeLoads;
-pub use par::par_ordered_map;
+pub use par::{derive_seed, par_ordered_map};
 pub use path::Path;
 pub use store::{PathId, PathStore};
 pub use subtopology::SubTopology;

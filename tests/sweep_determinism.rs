@@ -1,0 +1,227 @@
+//! Steal-order invariance of the work-stealing sweep scheduler.
+//!
+//! `ssor_engine::sweep` promises that the assembled report is a pure
+//! function of `(cells, master_seed)` — bit-identical at every worker
+//! count, under every steal order and input order, and across any
+//! kill/resume split of the journal. These tests pin that promise on the
+//! two real consumers named in the issue (the failure sweep and an
+//! α-grid) plus a property test over random subset/shuffle/resume
+//! schedules.
+//!
+//! The thread sweeps run both ways the scheduler can be sized: through
+//! the ambient `RAYON_NUM_THREADS` override (the path CI's 2- and
+//! 8-thread jobs exercise) and through `SweepOptions::threads` (the path
+//! `run_all` uses).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use ssor::engine::sweep::{cells, grid, run_sweep, SweepCell, SweepOptions};
+use ssor::engine::{
+    DemandSpec, PathSystemCache, Pipeline, ScenarioSpec, TemplateSpec, TopologySpec,
+};
+use ssor::flow::SolveOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// `RAYON_NUM_THREADS` is process-global and the vendored shim reads it
+/// on every call, so tests that sweep thread counts via the environment
+/// must serialize (same idiom as `tests/determinism.rs`).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ssor_sweep_det_{}_{}_{name}.journal",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The failure-sweep pipeline the issue names: same spec at every thread
+/// count must serialize to the same bytes.
+fn failure_pipeline() -> Pipeline {
+    Pipeline::on(TopologySpec::Hypercube { dim: 4 })
+        .template(TemplateSpec::Valiant)
+        .alpha(2)
+        .seed(11)
+        .solve_options(SolveOptions::with_eps(0.15))
+        .without_opt()
+        .demand("complement", DemandSpec::Complement)
+}
+
+#[test]
+fn failure_sweep_is_invariant_under_the_ambient_thread_count() {
+    let _guard = env_lock();
+    let p = failure_pipeline();
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        // If the override stopped being honored, the sweep below would
+        // compare three identical runs and pass vacuously.
+        assert_eq!(
+            rayon::current_num_threads(),
+            threads,
+            "worker-count override not honored; thread sweep would be vacuous"
+        );
+        let cache = PathSystemCache::new();
+        let report = p.failure_sweep(&cache, 2, 4);
+        reports.push(serde_json::to_string(&report).unwrap());
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+    assert_eq!(reports[0], reports[1], "1 vs 2 threads");
+    assert_eq!(reports[0], reports[2], "1 vs 8 threads");
+}
+
+#[test]
+fn failure_sweep_is_invariant_under_pinned_worker_counts() {
+    let _guard = env_lock();
+    let p = failure_pipeline();
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let cache = PathSystemCache::new();
+        let report = p.failure_sweep_sharded(&cache, 2, 4, Some(threads));
+        reports.push(serde_json::to_string(&report).unwrap());
+    }
+    assert_eq!(reports[0], reports[1], "1 vs 2 workers");
+    assert_eq!(reports[0], reports[2], "1 vs 8 workers");
+}
+
+#[test]
+fn alpha_grid_sweep_is_invariant_across_thread_counts() {
+    let _guard = env_lock();
+    let scenarios = [ScenarioSpec::HypercubeAdversarial { dim: 3 }];
+    let run_grid = |threads: usize| -> String {
+        let grid_cells = grid(&scenarios, &[1, 2, 3], 2);
+        let cache = PathSystemCache::new();
+        let outcome = run_sweep(
+            &grid_cells,
+            &SweepOptions::default().seed(5).threads(threads),
+            |cell, cell_seed| {
+                cell.payload
+                    .scenario
+                    .pipeline()
+                    .alpha(cell.payload.alpha)
+                    .seed(cell_seed)
+                    .solve_options(SolveOptions::with_eps(0.15))
+                    .run(&cache)
+            },
+        );
+        assert_eq!(outcome.executed, 6);
+        outcome.to_json_string()
+    };
+    let base = run_grid(1);
+    assert_eq!(base, run_grid(2), "alpha grid differs at 2 workers");
+    assert_eq!(base, run_grid(8), "alpha grid differs at 8 workers");
+}
+
+#[test]
+fn resume_after_journal_truncation_never_reruns_a_cell() {
+    let _guard = env_lock();
+    // Each cell is a one-trial failure sweep under its own derived seed —
+    // the example in `examples/sweep_resume.rs` at acceptance scale, kept
+    // small here so the property is pinned in the test suite too.
+    let p = Pipeline::on(TopologySpec::Hypercube { dim: 3 })
+        .template(TemplateSpec::Valiant)
+        .alpha(2)
+        .solve_options(SolveOptions::with_eps(0.2))
+        .without_opt()
+        .demand("pair", DemandSpec::Pairs(vec![(0, 7)]));
+    let cache = PathSystemCache::new();
+    let ran = AtomicUsize::new(0);
+    let eval = |cell: &SweepCell<u64>, cell_seed: u64| {
+        ran.fetch_add(1, Ordering::Relaxed);
+        let _ = cell;
+        p.clone().seed(cell_seed).failure_sweep(&cache, 1, 1)
+    };
+    let grid_cells = cells((0..24u64).collect::<Vec<_>>());
+    let opts = SweepOptions::default().seed(9).threads(2);
+
+    let uninterrupted = run_sweep(&grid_cells, &opts, eval);
+    assert_eq!(ran.swap(0, Ordering::Relaxed), 24);
+
+    // Full journaled run, then "kill" it mid-write: keep the first 10
+    // complete lines plus a torn prefix of line 11.
+    let path = tmp_journal("truncate");
+    run_sweep(&grid_cells, &opts.clone().journal(&path), eval);
+    assert_eq!(ran.swap(0, Ordering::Relaxed), 24);
+    let bytes = std::fs::read(&path).unwrap();
+    let mut keep = 0;
+    let mut newlines = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            newlines += 1;
+            if newlines == 10 {
+                keep = i + 1;
+                break;
+            }
+        }
+    }
+    // Torn tail: half of line 11, no newline — must be ignored on resume.
+    let torn_end = (keep + (bytes[keep..].iter().position(|&b| b == b'\n').unwrap())) - 3;
+    std::fs::write(&path, &bytes[..torn_end]).unwrap();
+
+    let resumed = run_sweep(&grid_cells, &opts.clone().journal(&path), eval);
+    assert_eq!((resumed.executed, resumed.resumed), (14, 10));
+    // The atomic run counter proves no journaled cell was evaluated twice.
+    assert_eq!(ran.swap(0, Ordering::Relaxed), 14);
+    assert_eq!(
+        resumed.to_json_string(),
+        uninterrupted.to_json_string(),
+        "resume after truncation must reassemble the uninterrupted bytes"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Pure, cheap evaluator for the schedule property test: any dependence
+/// on steal order or resume split would show up as differing bytes.
+#[derive(Serialize)]
+struct ProbeOut {
+    payload: u64,
+    seed_lane: u64,
+}
+
+fn probe(cell: &SweepCell<u64>, cell_seed: u64) -> ProbeOut {
+    ProbeOut {
+        payload: cell.payload.wrapping_mul(0x9E37_79B9),
+        seed_lane: cell_seed % 1000,
+    }
+}
+
+proptest! {
+    /// Random subsets of cells, run in shuffled order and merged through
+    /// the journal, assemble to the same report as the full in-order run.
+    #[test]
+    fn shuffled_subsets_merge_to_the_in_order_report(
+        perm_seed in any::<u64>(),
+        split in 0usize..=24,
+        threads in 1usize..5,
+    ) {
+        let grid_cells = cells((0..24u64).map(|x| x * 5 + 1).collect::<Vec<_>>());
+        // All worker counts below are pinned explicitly, so this property
+        // never reads the process environment and needs no ENV_LOCK.
+        let opts = SweepOptions::default().seed(perm_seed).threads(threads);
+        let full = run_sweep(&grid_cells, &opts.clone().threads(1), probe);
+
+        let mut shuffled = grid_cells.clone();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..i + 1));
+        }
+        let path = tmp_journal("prop");
+        let first = run_sweep(&shuffled[..split], &opts.clone().journal(&path), probe);
+        let merged = run_sweep(&shuffled, &opts.clone().journal(&path), probe);
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(first.executed, split);
+        prop_assert_eq!(merged.resumed, split);
+        prop_assert_eq!(merged.executed, 24 - split);
+        prop_assert_eq!(merged.to_json_string(), full.to_json_string());
+    }
+}
