@@ -1,7 +1,8 @@
 //! The standing perf harness: pinned benchmark groups whose wall-time
 //! medians are written to `BENCH_pipeline.json`, `BENCH_solver.json`,
-//! and `BENCH_templates.json` **at the repo root** each PR, so the perf
-//! trajectory between PRs is a recorded number instead of a guess.
+//! `BENCH_templates.json`, and `BENCH_serve.json` **at the repo root**
+//! each PR, so the perf trajectory between PRs is a recorded number
+//! instead of a guess.
 //!
 //! Contract (see README "Perf trajectory"):
 //!
@@ -30,6 +31,10 @@ use ssor_flow::{Demand, SolveOptions};
 use ssor_graph::generators;
 use ssor_oblivious::frt::{FrtTree, Metric};
 use ssor_oblivious::{ObliviousRouting, RaeckeOptions, RaeckeRouting, ValiantRouting};
+use ssor_serve::{
+    answer_batch_on, churned_source, ChurnModel, EpochCell, QueryPlane, Rebuilder, Request,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -214,10 +219,154 @@ fn templates_group(smoke: bool) -> Vec<Bench<'static>> {
         (
             format!("frt_sample_grid{f_rows}x{f_rows}"),
             Box::new(move || {
-                FrtTree::sample(&metric, n, &mut StdRng::seed_from_u64(1));
+                FrtTree::sample_seeded(&metric, n, 1);
             }),
         ),
     ]
+}
+
+#[derive(Serialize)]
+struct ServeRow {
+    name: String,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    lookups_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ServeGroup {
+    group: String,
+    mode: String,
+    rounds: usize,
+    cores: usize,
+    queries_per_batch: usize,
+    alpha: usize,
+    benches: Vec<ServeRow>,
+    isolated_shard_rate_sum_8: f64,
+}
+
+/// The serving-plane group gets its own runner: the `under_swaps`
+/// configurations need a live background [`Rebuilder`] scoped to exactly
+/// their own timed rounds, so configurations run sequentially (each with
+/// a warmup batch) instead of interleaved.
+///
+/// All timings are honest wall numbers on whatever `cores` reports — on
+/// a 1-core box the shards time-slice, so the per-shard-count rows mostly
+/// measure sharding overhead. `isolated_shard_rate_sum_8` is the labeled
+/// multi-core headroom estimate: each of the 8 round-robin shard slices
+/// timed by itself on the same snapshot, and the implied rates summed
+/// (what 8 genuinely parallel cores would sustain, shard independence
+/// being exact — shards share nothing but the immutable snapshot).
+fn run_serve_group(smoke: bool) {
+    let (side, trees, path_alpha, q) = if smoke {
+        (3usize, 2usize, 2usize, 256u64)
+    } else {
+        (6, 4, 3, 4096)
+    };
+    let (mode, rounds) = if smoke { ("smoke", 3) } else { ("full", 7) };
+    const ALPHA: usize = 4;
+    let churn = ChurnModel::TemplateSeedDrift { master_seed: 2023 };
+    let base = move || {
+        Pipeline::on(TopologySpec::Grid {
+            rows: side,
+            cols: side,
+        })
+        .template(TemplateSpec::FrtEnsemble { trees })
+        .alpha(path_alpha)
+    };
+    let n = (side * side) as u64;
+    let reqs: Vec<Request> = (0..q)
+        .map(|i| {
+            let s = (i % n) as u32;
+            let mut t = ((i * 31 + 1) % n) as u32;
+            if t == s {
+                t = (t + 1) % n as u32;
+            }
+            Request { id: i, s, t }
+        })
+        .collect();
+
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for swaps in [false, true] {
+        for shards in [1usize, 2, 8] {
+            let cache = Arc::new(PathSystemCache::bounded(8));
+            let mut source = churned_source(cache, base(), churn.clone());
+            let cell = Arc::new(EpochCell::new(Arc::new(source(0))));
+            let plane = QueryPlane::new(Arc::clone(&cell), ALPHA, shards);
+            let rebuilder = swaps.then(|| Rebuilder::spawn(Arc::clone(&cell), source, None));
+            plane.answer_batch(&reqs); // warmup
+            let mut ts: Vec<u64> = (0..rounds)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    plane.answer_batch(&reqs);
+                    t0.elapsed().as_nanos() as u64
+                })
+                .collect();
+            if let Some(rb) = rebuilder {
+                rb.stop();
+            }
+            ts.sort_unstable();
+            let median_ns = ts[ts.len() / 2];
+            rows.push(ServeRow {
+                name: format!(
+                    "lookups_grid{side}x{side}_{shards}shards{}",
+                    if swaps { "_under_swaps" } else { "" }
+                ),
+                median_ns,
+                min_ns: ts[0],
+                max_ns: ts[ts.len() - 1],
+                lookups_per_sec: q as f64 * 1e9 / median_ns as f64,
+            });
+        }
+    }
+
+    // Headroom: each 8-way round-robin shard slice timed in isolation on
+    // one static snapshot; the summed rates are what independent cores
+    // would sustain concurrently.
+    let table = churned_source(Arc::new(PathSystemCache::new()), base(), churn)(0);
+    let isolated_shard_rate_sum_8: f64 = (0..8usize)
+        .map(|k| {
+            let slice: Vec<Request> = reqs.iter().copied().skip(k).step_by(8).collect();
+            answer_batch_on(&table, ALPHA, 1, &slice); // warmup
+            let mut ts: Vec<u64> = (0..rounds)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    answer_batch_on(&table, ALPHA, 1, &slice);
+                    t0.elapsed().as_nanos() as u64
+                })
+                .collect();
+            ts.sort_unstable();
+            slice.len() as f64 * 1e9 / ts[ts.len() / 2] as f64
+        })
+        .sum();
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut table_out = Table::new(&["bench", "median", "lookups/s"]);
+    for r in &rows {
+        table_out.row(&[
+            r.name.clone(),
+            format!("{:.1?}", std::time::Duration::from_nanos(r.median_ns)),
+            format!("{:.0}", r.lookups_per_sec),
+        ]);
+    }
+    println!("\n== serve ({mode}, {rounds} rounds, {cores} core(s), {q} queries/batch) ==");
+    table_out.print();
+    println!("   isolated 8-shard rate sum (multi-core headroom): {isolated_shard_rate_sum_8:.0} lookups/s");
+    let record = ServeGroup {
+        group: "serve".to_string(),
+        mode: mode.to_string(),
+        rounds,
+        cores,
+        queries_per_batch: q as usize,
+        alpha: ALPHA,
+        benches: rows,
+        isolated_shard_rate_sum_8,
+    };
+    match save_json_at_root("BENCH_serve", &record) {
+        Some(p) => println!("-> {}", p.display()),
+        None => eprintln!("warning: could not write BENCH_serve.json"),
+    }
 }
 
 fn main() {
@@ -227,5 +376,6 @@ fn main() {
     run_group("pipeline", mode, rounds, pipeline_group(smoke));
     run_group("solver", mode, rounds, solver_group(smoke));
     run_group("templates", mode, rounds, templates_group(smoke));
+    run_serve_group(smoke);
     println!("\ntrajectory records written; commit the BENCH_*.json from a full release run.");
 }

@@ -13,7 +13,7 @@ use ssor_core::PathSystem;
 use ssor_lowerbound::graphs::CGraphMeta;
 use ssor_oblivious::{ObliviousRouting, TemplateStageStats};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -42,13 +42,15 @@ pub struct OptBounds {
     pub lower_bound: f64,
 }
 
-/// Cache hit/miss counters (one pair per store).
+/// Cache hit/miss/eviction counters, aggregated over all stores.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: usize,
     /// Lookups that had to compute.
     pub misses: usize,
+    /// Entries dropped by the capacity bound (0 for unbounded caches).
+    pub evictions: usize,
 }
 
 /// Memoizes built graphs, templates, sampled path systems, and OPT
@@ -77,14 +79,49 @@ pub struct CacheStats {
 /// assert_eq!(first.paths().total_paths(), again.paths().total_paths());
 /// assert!(cache.stats().hits > 0);
 /// ```
-#[derive(Default)]
 pub struct PathSystemCache {
-    graphs: Mutex<HashMap<TopologySpec, SharedGraph>>,
-    templates: Mutex<HashMap<(TopologySpec, TemplateSpec, u64), SharedTemplate>>,
-    paths: Mutex<HashMap<PathKey, Arc<PathSystem>>>,
-    opt: Mutex<HashMap<OptKey, OptBounds>>,
+    graphs: Mutex<HashMap<TopologySpec, Entry<SharedGraph>>>,
+    templates: Mutex<HashMap<(TopologySpec, TemplateSpec, u64), Entry<SharedTemplate>>>,
+    paths: Mutex<HashMap<PathKey, Entry<Arc<PathSystem>>>>,
+    opt: Mutex<HashMap<OptKey, Entry<OptBounds>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    /// Monotone access clock stamping entries for LRU-within-generation.
+    clock: AtomicU64,
+    /// The cache generation (bumped by [`PathSystemCache::advance_generation`]);
+    /// entries remember the generation of their last access, and eviction
+    /// drops the oldest generation first.
+    generation: AtomicU64,
+    /// Per-store capacity for the churn-sensitive stores (templates and
+    /// path systems); `usize::MAX` means unbounded.
+    capacity: usize,
+}
+
+/// A cached value stamped with its last-access provenance: the cache
+/// generation and the access-clock tick. Eviction drops the minimum
+/// `(gen, tick)` — oldest generation first, least-recently-used within it.
+struct Entry<V> {
+    value: V,
+    gen: u64,
+    tick: u64,
+}
+
+impl Default for PathSystemCache {
+    fn default() -> Self {
+        PathSystemCache {
+            graphs: Mutex::new(HashMap::new()),
+            templates: Mutex::new(HashMap::new()),
+            paths: Mutex::new(HashMap::new()),
+            opt: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            capacity: usize::MAX,
+        }
+    }
 }
 
 impl std::fmt::Debug for PathSystemCache {
@@ -100,28 +137,66 @@ impl std::fmt::Debug for PathSystemCache {
 /// Two threads may race to compute the same key; the first insert wins
 /// (all computations here are deterministic, so both results agree).
 ///
+/// A fresh insert into a store at `capacity` first evicts the entry with
+/// the minimum `(generation, tick)` stamp — the least-recently-touched
+/// entry of the oldest cache generation — and counts it in `evictions`.
+///
 /// Returns `(value, hit)`; `hit` reflects the atomic first check, so a
 /// caller timing the call sees `hit == false` exactly when `compute` ran
 /// on its own thread (a racing loser still did the work it reports).
+#[allow(clippy::too_many_arguments)]
 fn get_or_compute<K: std::hash::Hash + Eq + Clone, V: Clone>(
-    map: &Mutex<HashMap<K, V>>,
+    map: &Mutex<HashMap<K, Entry<V>>>,
     hits: &AtomicUsize,
     misses: &AtomicUsize,
+    evictions: &AtomicUsize,
+    clock: &AtomicU64,
+    generation: &AtomicU64,
+    capacity: usize,
     key: K,
     compute: impl FnOnce() -> V,
 ) -> (V, bool) {
-    if let Some(v) = map.lock().expect("cache lock").get(&key) {
+    let gen = generation.load(Ordering::Relaxed);
+    let touch = |e: &mut Entry<V>| {
+        e.gen = gen;
+        e.tick = clock.fetch_add(1, Ordering::Relaxed);
+    };
+    if let Some(e) = map.lock().expect("cache lock").get_mut(&key) {
+        touch(e);
         hits.fetch_add(1, Ordering::Relaxed);
-        return (v.clone(), true);
+        return (e.value.clone(), true);
     }
     misses.fetch_add(1, Ordering::Relaxed);
     let v = compute();
-    let v = map
-        .lock()
-        .expect("cache lock")
-        .entry(key)
-        .or_insert(v)
-        .clone();
+    let mut m = map.lock().expect("cache lock");
+    if let Some(e) = m.get_mut(&key) {
+        // A racer inserted the same key while we computed; share its
+        // value (both computations agree) — no insert, no eviction.
+        touch(e);
+        return (e.value.clone(), false);
+    }
+    while m.len() >= capacity.max(1) {
+        let victim = m
+            .iter()
+            .min_by_key(|(_, e)| (e.gen, e.tick))
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(k) => {
+                m.remove(&k);
+                evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            None => break,
+        }
+    }
+    let tick = clock.fetch_add(1, Ordering::Relaxed);
+    m.insert(
+        key,
+        Entry {
+            value: v.clone(),
+            gen,
+            tick,
+        },
+    );
     (v, false)
 }
 
@@ -139,6 +214,55 @@ impl PathSystemCache {
         PathSystemCache::default()
     }
 
+    /// A cache whose churn-sensitive stores (templates and sampled path
+    /// systems) hold at most `capacity` entries each; inserting past the
+    /// bound evicts the least-recently-touched entry of the **oldest
+    /// cache generation** first (see
+    /// [`advance_generation`](PathSystemCache::advance_generation)).
+    /// The graph and OPT-bound stores stay unbounded — their entries are
+    /// small and topology-keyed, not churn-keyed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{PathSystemCache, TemplateSpec, TopologySpec};
+    ///
+    /// let cache = PathSystemCache::bounded(2);
+    /// let topo = TopologySpec::Ring { n: 6 };
+    /// for seed in 0..4 {
+    ///     cache.template(&topo, &TemplateSpec::ShortestPath, seed);
+    /// }
+    /// assert_eq!(cache.stats().evictions, 2, "capacity 2, four inserts");
+    /// ```
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        PathSystemCache {
+            capacity,
+            ..PathSystemCache::default()
+        }
+    }
+
+    /// Bumps the cache generation. Entries remember the generation of
+    /// their last access; under a capacity bound, eviction drops oldest
+    /// generations first, so a serving rebuild loop that advances the
+    /// generation once per template swap keeps the current generation's
+    /// working set resident while prior generations age out.
+    ///
+    /// Returns the new generation.
+    pub fn advance_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current cache generation (0 until the first
+    /// [`advance_generation`](PathSystemCache::advance_generation)).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
     /// The built graph (plus lower-bound gadget metadata, when the
     /// topology has any) for `topo`.
     ///
@@ -151,9 +275,17 @@ impl PathSystemCache {
     /// assert_eq!(g.0.n(), 7);
     /// ```
     pub fn graph(&self, topo: &TopologySpec) -> SharedGraph {
-        get_or_compute(&self.graphs, &self.hits, &self.misses, topo.clone(), || {
-            Arc::new(topo.build())
-        })
+        get_or_compute(
+            &self.graphs,
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.clock,
+            &self.generation,
+            usize::MAX,
+            topo.clone(),
+            || Arc::new(topo.build()),
+        )
         .0
     }
 
@@ -187,10 +319,20 @@ impl PathSystemCache {
         seed: u64,
     ) -> (SharedTemplate, bool) {
         let key = (topo.clone(), template.clone(), seed);
-        get_or_compute(&self.templates, &self.hits, &self.misses, key, || {
-            let g = self.graph(topo);
-            template.build(topo, &g.0, seed)
-        })
+        get_or_compute(
+            &self.templates,
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.clock,
+            &self.generation,
+            self.capacity,
+            key,
+            || {
+                let g = self.graph(topo);
+                template.build(topo, &g.0, seed)
+            },
+        )
     }
 
     /// The sampled path system for `(topo, template, alpha, seed)`,
@@ -219,7 +361,18 @@ impl PathSystemCache {
         sample: impl FnOnce() -> Arc<PathSystem>,
     ) -> Arc<PathSystem> {
         let key = (topo.clone(), template.clone(), alpha, seed);
-        get_or_compute(&self.paths, &self.hits, &self.misses, key, sample).0
+        get_or_compute(
+            &self.paths,
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.clock,
+            &self.generation,
+            self.capacity,
+            key,
+            sample,
+        )
+        .0
     }
 
     /// Certified OPT bounds for `(topo, demand, solver options)`,
@@ -255,25 +408,38 @@ impl PathSystemCache {
             opts.eps.to_bits(),
             opts.max_iters,
         );
-        get_or_compute(&self.opt, &self.hits, &self.misses, key, solve).0
+        get_or_compute(
+            &self.opt,
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.clock,
+            &self.generation,
+            usize::MAX,
+            key,
+            solve,
+        )
+        .0
     }
 
-    /// Aggregate hit/miss counters over all four stores.
+    /// Aggregate hit/miss/eviction counters over all four stores.
     ///
     /// # Examples
     ///
     /// ```
-    /// use ssor_engine::{PathSystemCache, TopologySpec};
+    /// use ssor_engine::{CacheStats, PathSystemCache, TopologySpec};
     /// let cache = PathSystemCache::new();
     /// let topo = TopologySpec::Ring { n: 5 };
     /// cache.graph(&topo);
     /// cache.graph(&topo);
-    /// assert_eq!(cache.stats(), ssor_engine::CacheStats { hits: 1, misses: 1 });
+    /// let expect = CacheStats { hits: 1, misses: 1, evictions: 0 };
+    /// assert_eq!(cache.stats(), expect);
     /// ```
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -294,6 +460,10 @@ pub struct TemplateBuildStats {
     /// Per-stage construction split, when the template records one (the
     /// Räcke/FRT builders do).
     pub stages: Option<TemplateStageStats>,
+    /// Snapshot of the cache's aggregate hit/miss/eviction counters as of
+    /// this build — the serving rebuild loop reads `cache.evictions` here
+    /// to watch a bounded cache shed stale generations under churn.
+    pub cache: CacheStats,
 }
 
 impl TemplateBuildStats {
@@ -367,6 +537,7 @@ impl<'a> TemplateBuilder<'a> {
             wall: start.elapsed(),
             cached,
             stages: t.build_stats(),
+            cache: self.cache.stats(),
         };
         (t, stats)
     }
@@ -523,6 +694,77 @@ mod tests {
             assert!(Arc::ptr_eq(t, t2));
             assert!(s2.cached);
         }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_generation_first() {
+        let cache = PathSystemCache::bounded(2);
+        let topo = TopologySpec::Ring { n: 6 };
+        // Generation 0: two templates fill the store.
+        let a = cache.template(&topo, &TemplateSpec::ShortestPath, 0);
+        cache.template(&topo, &TemplateSpec::ShortestPath, 1);
+        // Touch seed 0 so it is the *most* recently used of generation 0.
+        cache.template(&topo, &TemplateSpec::ShortestPath, 0);
+        assert_eq!(cache.stats().evictions, 0);
+
+        // Generation 1: a third insert must evict — and the victim is the
+        // least-recently-touched entry of the oldest generation (seed 1),
+        // not the recently-touched seed 0.
+        assert_eq!(cache.advance_generation(), 1);
+        cache.template(&topo, &TemplateSpec::ShortestPath, 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let a2 = cache.template(&topo, &TemplateSpec::ShortestPath, 0);
+        assert!(Arc::ptr_eq(&a, &a2), "seed 0 survived the eviction");
+        // Seed 1 was evicted: fetching it again is a miss (recomputes).
+        let before = cache.stats().misses;
+        cache.template(&topo, &TemplateSpec::ShortestPath, 1);
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn current_generation_entries_survive_churn() {
+        let cache = PathSystemCache::bounded(1);
+        let topo = TopologySpec::Ring { n: 5 };
+        for g in 0..4u64 {
+            cache.advance_generation();
+            assert_eq!(cache.generation(), g + 1);
+            let t = cache.template(&topo, &TemplateSpec::ShortestPath, g);
+            // The entry just built this generation is resident.
+            let t2 = cache.template(&topo, &TemplateSpec::ShortestPath, g);
+            assert!(Arc::ptr_eq(&t, &t2));
+        }
+        // Capacity 1, four generations of inserts: three evictions.
+        assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn unbounded_stores_never_evict() {
+        let cache = PathSystemCache::bounded(1);
+        let a = cache.graph(&TopologySpec::Ring { n: 4 });
+        cache.graph(&TopologySpec::Ring { n: 5 });
+        cache.graph(&TopologySpec::Ring { n: 6 });
+        // Graph store ignores the bound (only templates/paths churn).
+        let a2 = cache.graph(&TopologySpec::Ring { n: 4 });
+        assert!(Arc::ptr_eq(&a, &a2));
+    }
+
+    #[test]
+    fn build_stats_surface_cache_counters() {
+        let cache = PathSystemCache::bounded(1);
+        let builder = TemplateBuilder::new(&cache);
+        let topo = TopologySpec::Ring { n: 6 };
+        let (_, s0) = builder.build(&topo, &TemplateSpec::ShortestPath, 0);
+        assert_eq!(s0.cache.evictions, 0);
+        cache.advance_generation();
+        let (_, s1) = builder.build(&topo, &TemplateSpec::ShortestPath, 1);
+        assert_eq!(s1.cache.evictions, 1, "capacity 1: second build evicts");
+        assert!(s1.cache.misses >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = PathSystemCache::bounded(0);
     }
 
     #[test]

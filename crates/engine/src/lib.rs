@@ -53,6 +53,7 @@ mod cache;
 mod pipeline;
 mod report_json;
 pub mod sampling;
+mod snapshot;
 mod spec;
 mod stream;
 pub mod sweep;
@@ -61,6 +62,7 @@ pub use cache::{
     CacheStats, OptBounds, PathSystemCache, SharedTemplate, TemplateBuildStats, TemplateBuilder,
 };
 pub use pipeline::{EvalRecord, Objective, Pipeline, PreparedPipeline, RunReport};
+pub use snapshot::{route_table_all_pairs, route_table_from_template};
 pub use spec::{
     DemandSpec, Param, ResolveCtx, ScenarioSpec, StreamModel, TemplateSpec, TopologySpec,
 };

@@ -270,6 +270,24 @@ impl Pipeline {
         self
     }
 
+    /// Replaces the topology (stage 1) on an existing description — the
+    /// churn hook: a serving rebuild loop holds one base pipeline and
+    /// rotates topologies (or seeds) across generations without
+    /// re-stating the rest of the configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{Pipeline, TopologySpec};
+    /// let base = Pipeline::on(TopologySpec::Ring { n: 8 }).alpha(3);
+    /// let p = base.clone().with_topology(TopologySpec::Ring { n: 10 });
+    /// assert_eq!(p.prepare(&Default::default()).graph().n(), 10);
+    /// ```
+    pub fn with_topology(mut self, topology: TopologySpec) -> Pipeline {
+        self.topology = topology;
+        self
+    }
+
     /// Sets the sparsity budget `α` (stage 3).
     ///
     /// # Examples
@@ -948,6 +966,31 @@ impl PreparedPipeline {
         self.template
             .as_deref()
             .map(|t| t as &dyn ssor_oblivious::ObliviousRouting)
+    }
+
+    /// Flattens the stage-2 template into an immutable all-pairs
+    /// [`RouteTable`](ssor_graph::RouteTable) serving snapshot stamped
+    /// with `generation` — what a `ssor-serve` rebuilder publishes after
+    /// each churn step. `None` under [`Objective::CompletionTime`]
+    /// (no template to flatten).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::{Pipeline, TemplateSpec, TopologySpec};
+    /// let p = Pipeline::on(TopologySpec::Hypercube { dim: 3 })
+    ///     .template(TemplateSpec::Valiant)
+    ///     .alpha(2)
+    ///     .prepare(&Default::default());
+    /// let table = p.route_table(1).expect("congestion objective");
+    /// assert_eq!(table.pair_count(), 56);
+    /// ```
+    pub fn route_table(&self, generation: u64) -> Option<ssor_graph::RouteTable> {
+        let template = self.template.as_deref()?;
+        let pairs = all_pairs(self.graph().n());
+        Some(crate::snapshot::route_table_from_template(
+            template, &pairs, generation,
+        ))
     }
 
     /// What the stage-2 template build cost — wall-clock, whether the

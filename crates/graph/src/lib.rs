@@ -13,6 +13,9 @@
 //!   [`Path::shortcut`] to reduce walks to simple paths;
 //! * [`PathStore`] / [`PathId`] — the interning arena the whole stack
 //!   shares paths through (`Path` stays the owned boundary type);
+//! * [`RouteTable`] / [`RouteTableBuilder`] — the immutable serving
+//!   snapshot: per-pair distributions flattened into contiguous buffers
+//!   with precomputed sampling CDFs, the read side of the query plane;
 //! * [`EdgeLoads`] — dense per-edge load accumulation (the congestion
 //!   representation), with deterministic [`EdgeLoads::par_merge`];
 //! * [`Csr`] — flattened adjacency for repeated traversals, accepted by
@@ -51,6 +54,7 @@ pub mod matching;
 pub mod maxflow;
 mod par;
 mod path;
+mod route_table;
 pub mod shortest_path;
 mod store;
 mod subtopology;
@@ -60,5 +64,6 @@ pub use graph::{Arc, EdgeId, Graph, VertexId};
 pub use load::EdgeLoads;
 pub use par::{derive_seed, par_ordered_map};
 pub use path::Path;
+pub use route_table::{RouteTable, RouteTableBuilder};
 pub use store::{PathId, PathStore};
 pub use subtopology::SubTopology;

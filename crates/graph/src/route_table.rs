@@ -1,0 +1,421 @@
+//! The immutable serving snapshot: per-pair path distributions flattened
+//! into contiguous buffers with precomputed sampling CDFs.
+//!
+//! A routing template answers `sample_path(s, t)` by walking live objects
+//! — tree mixtures, intermediate enumerations — which is fine for batch
+//! sampling but far too much machinery for a query plane that must answer
+//! millions of lookups per second. A [`RouteTable`] is the compiled form:
+//! every path of every pair interned once into a [`PathStore`] arena, a
+//! CSR index from `(s, t)` to its [`PathId`] range, and the cumulative
+//! distribution of each pair precomputed so a draw is one uniform deviate,
+//! one binary search over targets, and one `partition_point` over the CDF.
+//! The table is immutable after [`RouteTableBuilder::finish`]; serving
+//! layers share it behind an `Arc` and swap whole generations atomically.
+//!
+//! # Sampling contract
+//!
+//! [`RouteTable::sample_with`] pins the exact arithmetic so independent
+//! implementations can be compared bit-for-bit: pair weights are
+//! normalized by their left-to-right `f64` sum exactly as
+//! `ssor_flow::Routing::set_distribution` normalizes (validate, total,
+//! drop zeros, divide), the CDF is the left-to-right prefix sum of the
+//! normalized weights, and a deviate `u ∈ [0, 1)` selects the first index
+//! whose CDF entry reaches `u * total`. Replaying the same deviates
+//! against the pair's `Routing` distribution therefore selects the same
+//! paths, bit-identically — the property the serving determinism suite
+//! pins.
+
+use crate::graph::VertexId;
+use crate::path::Path;
+use crate::store::{PathId, PathStore};
+use rand::Rng;
+
+/// An immutable, flattened snapshot of per-pair path distributions (see
+/// the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::{Graph, Path, RouteTableBuilder};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// let direct = Path::from_vertices(&g, &[0, 2]).unwrap();
+/// let detour = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+/// let mut b = RouteTableBuilder::new(3, 1);
+/// b.push_pair(0, 2, &[(direct.clone(), 0.75), (detour, 0.25)]);
+/// let table = b.finish();
+/// assert_eq!(table.generation(), 1);
+/// assert_eq!(table.pair_count(), 1);
+/// // u = 0.5 lands in the first (mass-0.75) path's CDF interval.
+/// let id = table.sample_with(0, 2, 0.5).unwrap();
+/// assert_eq!(table.store().materialize(id), direct);
+/// assert!(table.sample_with(1, 2, 0.5).is_none(), "pair not in table");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    n: usize,
+    generation: u64,
+    store: PathStore,
+    /// CSR over sources: pairs with source `s` occupy pair indices
+    /// `src_offsets[s]..src_offsets[s + 1]` in `targets` / `ranges`.
+    src_offsets: Vec<u32>,
+    /// Target of each pair, ascending within one source's range.
+    targets: Vec<VertexId>,
+    /// Per pair: `(start, len)` into `path_ids` / `cdf`.
+    ranges: Vec<(u32, u32)>,
+    /// Flat per-pair path ids, concatenated in pair order.
+    path_ids: Vec<PathId>,
+    /// Flat per-pair cumulative normalized weights, aligned with
+    /// `path_ids`; each pair's final entry is its total (≈ 1).
+    cdf: Vec<f64>,
+}
+
+impl RouteTable {
+    /// The vertex count the table was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The generation counter stamped at build time. Query seeds derive
+    /// from `(generation, request_id)`, so replies are replayable against
+    /// any table of the same generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The shared path arena ids refer into.
+    pub fn store(&self) -> &PathStore {
+        &self.store
+    }
+
+    /// Number of pairs with a distribution.
+    pub fn pair_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total path references across all pairs (one CDF entry each).
+    pub fn total_path_refs(&self) -> usize {
+        self.path_ids.len()
+    }
+
+    /// Approximate heap footprint of the flattened buffers in bytes
+    /// (arena + index + CDFs), for capacity planning.
+    pub fn flat_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.src_offsets.len() * size_of::<u32>()
+            + self.targets.len() * size_of::<VertexId>()
+            + self.ranges.len() * size_of::<(u32, u32)>()
+            + self.path_ids.len() * size_of::<PathId>()
+            + self.cdf.len() * size_of::<f64>()
+    }
+
+    /// The dense pair index of `(s, t)`, if the table has it: binary
+    /// search over the source's target range.
+    fn pair_index(&self, s: VertexId, t: VertexId) -> Option<usize> {
+        let s = s as usize;
+        if s + 1 >= self.src_offsets.len() {
+            return None;
+        }
+        let (lo, hi) = (
+            self.src_offsets[s] as usize,
+            self.src_offsets[s + 1] as usize,
+        );
+        let row = &self.targets[lo..hi];
+        row.binary_search(&t).ok().map(|i| lo + i)
+    }
+
+    /// The path ids of `R(s, t)`, in distribution order; `None` when the
+    /// pair is not in the table.
+    pub fn path_ids(&self, s: VertexId, t: VertexId) -> Option<&[PathId]> {
+        let i = self.pair_index(s, t)?;
+        let (start, len) = self.ranges[i];
+        Some(&self.path_ids[start as usize..(start + len) as usize])
+    }
+
+    /// The cumulative normalized weights of `R(s, t)`, aligned with
+    /// [`RouteTable::path_ids`].
+    pub fn cdf(&self, s: VertexId, t: VertexId) -> Option<&[f64]> {
+        let i = self.pair_index(s, t)?;
+        let (start, len) = self.ranges[i];
+        Some(&self.cdf[start as usize..(start + len) as usize])
+    }
+
+    /// Draws one path of `R(s, t)` from the uniform deviate `u ∈ [0, 1)`:
+    /// the first index whose cumulative weight reaches `u * total` (see
+    /// the module docs for the exact pinned arithmetic). `None` when the
+    /// pair is not in the table.
+    pub fn sample_with(&self, s: VertexId, t: VertexId, u: f64) -> Option<PathId> {
+        let i = self.pair_index(s, t)?;
+        let (start, len) = self.ranges[i];
+        let (start, len) = (start as usize, len as usize);
+        let cdf = &self.cdf[start..start + len];
+        let x = u * cdf[len - 1];
+        // First entry >= x; a deviate at/above the total (float rounding)
+        // clamps to the last path, mirroring the subtractive scan's
+        // fallback arm.
+        let k = cdf.partition_point(|&c| c < x).min(len - 1);
+        Some(self.path_ids[start + k])
+    }
+
+    /// Draws `alpha` paths for `(s, t)` by consuming `alpha` deviates
+    /// from `rng` in order (duplicates allowed — Definition 5.2 samples
+    /// with replacement). `None` when the pair is not in the table; the
+    /// RNG is not consumed in that case.
+    pub fn sample_alpha<R: Rng + ?Sized>(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        alpha: usize,
+        rng: &mut R,
+    ) -> Option<Vec<PathId>> {
+        self.pair_index(s, t)?;
+        Some(
+            (0..alpha)
+                .map(|_| {
+                    self.sample_with(s, t, rng.gen::<f64>())
+                        .expect("pair_index checked above")
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Builds a [`RouteTable`] from per-pair distributions pushed in strictly
+/// increasing `(s, t)` order.
+///
+/// # Examples
+///
+/// ```
+/// use ssor_graph::{Graph, Path, RouteTableBuilder};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let mut b = RouteTableBuilder::new(3, 7);
+/// b.push_pair(0, 1, &[(Path::from_vertices(&g, &[0, 1]).unwrap(), 1.0)]);
+/// b.push_pair(1, 2, &[(Path::from_vertices(&g, &[1, 2]).unwrap(), 1.0)]);
+/// let table = b.finish();
+/// assert_eq!(table.pair_count(), 2);
+/// assert_eq!(table.generation(), 7);
+/// ```
+#[derive(Debug)]
+pub struct RouteTableBuilder {
+    n: usize,
+    generation: u64,
+    store: PathStore,
+    targets: Vec<VertexId>,
+    /// Source of each pushed pair (expanded into CSR offsets at finish).
+    sources: Vec<VertexId>,
+    ranges: Vec<(u32, u32)>,
+    path_ids: Vec<PathId>,
+    cdf: Vec<f64>,
+}
+
+impl RouteTableBuilder {
+    /// An empty builder for an `n`-vertex graph, stamping `generation`
+    /// into the finished table.
+    pub fn new(n: usize, generation: u64) -> Self {
+        RouteTableBuilder {
+            n,
+            generation,
+            store: PathStore::new(),
+            targets: Vec::new(),
+            sources: Vec::new(),
+            ranges: Vec::new(),
+            path_ids: Vec::new(),
+            cdf: Vec::new(),
+        }
+    }
+
+    /// Pushes the distribution of pair `(s, t)`: paths interned into the
+    /// arena, weights normalized by their left-to-right sum (zero-weight
+    /// entries dropped *after* the total, exactly as
+    /// `Routing::set_distribution` does), CDF precomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pairs arrive out of strictly increasing `(s, t)` order,
+    /// if `s == t` or a vertex is out of range, if any path does not run
+    /// `s → t`, if a weight is negative or non-finite, or if the weights
+    /// sum to zero or a non-finite total.
+    pub fn push_pair(&mut self, s: VertexId, t: VertexId, dist: &[(Path, f64)]) {
+        assert_ne!(s, t, "pairs have distinct endpoints");
+        assert!(
+            (s as usize) < self.n && (t as usize) < self.n,
+            "vertex out of range"
+        );
+        if let (Some(&ps), Some(&pt)) = (self.sources.last(), self.targets.last()) {
+            assert!(
+                (ps, pt) < (s, t),
+                "pairs must be pushed in strictly increasing (s, t) order: ({ps}, {pt}) then ({s}, {t})"
+            );
+        }
+        assert!(!dist.is_empty(), "distribution needs at least one path");
+        for (_, w) in dist {
+            assert!(
+                w.is_finite() && *w >= 0.0,
+                "path weight must be finite and nonnegative, got {w}"
+            );
+        }
+        let total: f64 = dist.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        assert!(
+            total.is_finite(),
+            "weights must sum to a finite total, got {total}"
+        );
+
+        let start = self.path_ids.len() as u32;
+        let mut acc = 0.0f64;
+        for (path, w) in dist {
+            if *w <= 0.0 {
+                continue;
+            }
+            assert_eq!(path.source(), s, "path source mismatch");
+            assert_eq!(path.target(), t, "path target mismatch");
+            acc += w / total;
+            self.path_ids.push(self.store.intern(path));
+            self.cdf.push(acc);
+        }
+        let len = self.path_ids.len() as u32 - start;
+        self.sources.push(s);
+        self.targets.push(t);
+        self.ranges.push((start, len));
+    }
+
+    /// Flattens into the immutable [`RouteTable`].
+    pub fn finish(self) -> RouteTable {
+        // Expand the sorted pair sources into CSR offsets.
+        let mut src_offsets = vec![0u32; self.n + 1];
+        for &s in &self.sources {
+            src_offsets[s as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            src_offsets[i + 1] += src_offsets[i];
+        }
+        RouteTable {
+            n: self.n,
+            generation: self.generation,
+            store: self.store,
+            src_offsets,
+            targets: self.targets,
+            ranges: self.ranges,
+            path_ids: self.path_ids,
+            cdf: self.cdf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_path_table() -> (RouteTable, Path, Path) {
+        let g = generators::ring(4);
+        let cw = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let ccw = Path::from_vertices(&g, &[0, 3, 2]).unwrap();
+        let mut b = RouteTableBuilder::new(4, 1);
+        b.push_pair(0, 2, &[(cw.clone(), 0.25), (ccw.clone(), 0.75)]);
+        (b.finish(), cw, ccw)
+    }
+
+    #[test]
+    fn cdf_intervals_match_normalized_weights() {
+        let (table, cw, ccw) = two_path_table();
+        let cdf = table.cdf(0, 2).unwrap();
+        assert_eq!(cdf, &[0.25, 1.0]);
+        let ids = table.path_ids(0, 2).unwrap();
+        assert_eq!(table.store().materialize(ids[0]), cw);
+        assert_eq!(table.store().materialize(ids[1]), ccw);
+    }
+
+    #[test]
+    fn sample_with_selects_by_cdf_interval() {
+        let (table, cw, ccw) = two_path_table();
+        let at = |u: f64| {
+            table
+                .store()
+                .materialize(table.sample_with(0, 2, u).unwrap())
+        };
+        assert_eq!(at(0.0), cw, "u = 0 takes the first path");
+        assert_eq!(at(0.2), cw);
+        // The boundary deviate selects the first entry whose cumulative
+        // weight *reaches* it (>=), matching the subtractive scan's
+        // `x - w <= 0` arm.
+        assert_eq!(at(0.25), cw);
+        assert_eq!(at(0.2500001), ccw);
+        assert_eq!(at(0.9999), ccw);
+        assert_eq!(at(1.0), ccw, "deviate at the total clamps to the last path");
+    }
+
+    #[test]
+    fn zero_weight_entries_are_dropped_after_the_total() {
+        let g = generators::ring(4);
+        let cw = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let ccw = Path::from_vertices(&g, &[0, 3, 2]).unwrap();
+        let mut b = RouteTableBuilder::new(4, 1);
+        b.push_pair(0, 2, &[(cw, 0.5), (ccw.clone(), 0.0)]);
+        let table = b.finish();
+        assert_eq!(table.path_ids(0, 2).unwrap().len(), 1);
+        assert_eq!(table.cdf(0, 2).unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn pairs_share_the_arena() {
+        let g = generators::ring(4);
+        let shared = Path::from_vertices(&g, &[1, 2]).unwrap();
+        let longer = Path::from_vertices(&g, &[0, 1, 2]).unwrap();
+        let mut b = RouteTableBuilder::new(4, 1);
+        b.push_pair(0, 2, &[(longer, 1.0)]);
+        b.push_pair(1, 2, &[(shared.clone(), 1.0)]);
+        let table = b.finish();
+        // Arena holds 2 distinct paths even though both pairs reference it.
+        assert_eq!(table.store().len(), 2);
+        assert_eq!(table.total_path_refs(), 2);
+        assert!(table.flat_bytes() > 0);
+    }
+
+    #[test]
+    fn missing_pairs_and_sources_return_none() {
+        let (table, _, _) = two_path_table();
+        assert!(table.path_ids(0, 1).is_none());
+        assert!(table.cdf(2, 0).is_none());
+        assert!(table.sample_with(3, 1, 0.5).is_none());
+        assert!(table
+            .sample_alpha(1, 0, 3, &mut StdRng::seed_from_u64(0))
+            .is_none());
+    }
+
+    #[test]
+    fn sample_alpha_consumes_one_deviate_per_draw() {
+        let (table, _, _) = two_path_table();
+        let mut rng = StdRng::seed_from_u64(9);
+        let draws = table.sample_alpha(0, 2, 4, &mut rng).unwrap();
+        // Replay the identical stream by hand.
+        let mut replay = StdRng::seed_from_u64(9);
+        let by_hand: Vec<PathId> = (0..4)
+            .map(|_| table.sample_with(0, 2, replay.gen::<f64>()).unwrap())
+            .collect();
+        assert_eq!(draws, by_hand);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_pairs_are_rejected() {
+        let g = generators::ring(4);
+        let p01 = Path::from_vertices(&g, &[0, 1]).unwrap();
+        let p12 = Path::from_vertices(&g, &[1, 2]).unwrap();
+        let mut b = RouteTableBuilder::new(4, 1);
+        b.push_pair(1, 2, &[(p12, 1.0)]);
+        b.push_pair(0, 1, &[(p01, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn negative_weights_are_rejected() {
+        let g = generators::ring(4);
+        let p = Path::from_vertices(&g, &[0, 1]).unwrap();
+        let mut b = RouteTableBuilder::new(4, 1);
+        b.push_pair(0, 1, &[(p, -0.5)]);
+    }
+}

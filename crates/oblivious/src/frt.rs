@@ -11,8 +11,10 @@
 //! fans its per-source Dijkstra trees over workers in index order, and
 //! tree *ensembles* draw each tree from its own [`tree_seed`]-derived
 //! RNG stream ([`sample_tree_routings_seeded`]), so outputs are
-//! bit-identical at any thread count. The threaded-RNG entry points are
-//! kept as a serial compat shim for one release.
+//! bit-identical at any thread count. The one remaining threaded-RNG
+//! entry point is crate-private: the Räcke multiplicative-weights loop
+//! threads a single RNG through its inherently sequential iterations to
+//! keep its historical byte-stable stream.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -119,15 +121,15 @@ impl FrtTree {
     /// Samples an FRT tree for the given metric: random permutation `pi`,
     /// random `beta in [1, 2)`, level-`i` radius `beta * 2^{i-2}`.
     ///
-    /// This is the *serial compat path*: it consumes randomness from a
-    /// caller-threaded RNG, so consecutive samples are order-dependent
-    /// and cannot fan out over threads. New ensemble code should use
-    /// [`FrtTree::sample_seeded`] with [`tree_seed`]-derived per-tree
-    /// streams (see [`sample_tree_routings_seeded`]); this entry point is
-    /// kept for one release for callers that pin byte-stable outputs to
-    /// the threaded stream (the Räcke multiplicative-weights loop, whose
-    /// iterations are inherently sequential anyway).
-    pub fn sample<R: Rng + ?Sized>(metric: &Metric, n: usize, rng: &mut R) -> Self {
+    /// This is the crate-private *serial path*: it consumes randomness
+    /// from a caller-threaded RNG, so consecutive samples are
+    /// order-dependent and cannot fan out over threads. Ensemble code
+    /// uses [`FrtTree::sample_seeded`] with [`tree_seed`]-derived
+    /// per-tree streams (see [`sample_tree_routings_seeded`]); the only
+    /// threaded caller left is the Räcke multiplicative-weights loop,
+    /// whose iterations are inherently sequential and whose byte-stable
+    /// output stream is pinned to this path.
+    pub(crate) fn sample<R: Rng + ?Sized>(metric: &Metric, n: usize, rng: &mut R) -> Self {
         assert!(n >= 1);
         let mut pi: Vec<VertexId> = (0..n as VertexId).collect();
         pi.shuffle(rng);
@@ -268,38 +270,15 @@ impl TreeRouting {
     }
 }
 
-/// A randomized oblivious routing that samples a *fresh* FRT tree per path
-/// draw is wasteful; instead, [`RaeckeRouting`](crate::RaeckeRouting) holds a
-/// fixed mixture of [`TreeRouting`]s. This helper samples `count` trees
-/// over the hop metric — the plain "FRT ensemble" baseline.
-#[deprecated(
-    since = "0.1.0",
-    note = "serial compat shim (threaded RNG, cannot parallelize); use \
-            sample_tree_routings_seeded, which builds the ensemble in \
-            parallel from derived per-tree seed streams"
-)]
-pub fn sample_tree_routings<R: Rng + ?Sized>(
-    g: &Graph,
-    count: usize,
-    rng: &mut R,
-) -> Vec<TreeRouting> {
-    let metric = Arc::new(Metric::hops(g));
-    (0..count)
-        .map(|_| {
-            let tree = Arc::new(FrtTree::sample(&metric, g.n(), rng));
-            TreeRouting::new(Arc::clone(&metric), tree)
-        })
-        .collect()
-}
-
 /// Samples `count` hop-metric [`TreeRouting`]s in parallel, each from its
-/// own [`tree_seed`]-derived RNG stream.
+/// own [`tree_seed`]-derived RNG stream — the plain "FRT ensemble"
+/// baseline. (A routing that sampled a *fresh* tree per path draw would
+/// be wasteful; [`RaeckeRouting`](crate::RaeckeRouting) instead holds a
+/// fixed mixture of [`TreeRouting`]s.)
 ///
-/// Unlike the deprecated threaded-RNG `sample_tree_routings`, tree `i`'s
-/// randomness is a pure function of `(seed, i)`, so the trees fan out
-/// over rayon workers (index-ordered collect) and the ensemble is
-/// bit-identical at any thread count. The two samplers draw *different*
-/// (equally valid) ensembles from the same FRT distribution.
+/// Tree `i`'s randomness is a pure function of `(seed, i)`, so the trees
+/// fan out over rayon workers (index-ordered collect) and the ensemble is
+/// bit-identical at any thread count.
 ///
 /// # Examples
 ///
@@ -463,20 +442,6 @@ mod tests {
                 let p = tr.path(&g, s, t);
                 assert!(p.is_simple() && p.is_valid(&g));
             }
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn threaded_compat_shim_still_samples_valid_ensembles() {
-        // The serial compat path stays functional for one release.
-        let g = generators::ring(10);
-        let mut rng = StdRng::seed_from_u64(5);
-        let trees = sample_tree_routings(&g, 3, &mut rng);
-        assert_eq!(trees.len(), 3);
-        for tr in &trees {
-            let p = tr.path(&g, 0, 5);
-            assert!(p.is_simple() && p.is_valid(&g));
         }
     }
 

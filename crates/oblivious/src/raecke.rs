@@ -128,8 +128,9 @@ impl RaeckeRouting {
     ///
     /// Steps (1) and (3) run rayon-parallel with thread-count-invariant
     /// output; step (2) deliberately stays on the caller's threaded RNG
-    /// (the serial compat stream) because the iterations are sequential
-    /// anyway — see [`FrtTree::sample`].
+    /// (the crate-private serial path, `FrtTree::sample`) because the
+    /// iterations are sequential anyway, and the mixture's byte-stable
+    /// output stream is pinned to it.
     ///
     /// # Panics
     ///

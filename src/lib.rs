@@ -18,7 +18,10 @@
 //! * [`sim`] — the store-and-forward packet scheduler (`ssor-sim`);
 //! * [`te`] — the SMORE traffic-engineering scenario (`ssor-te`);
 //! * [`engine`] — the batched, rayon-parallel five-stage pipeline with
-//!   memoized path systems (`ssor-engine`).
+//!   memoized path systems (`ssor-engine`);
+//! * [`serve`] — routing-as-a-service: the sharded query plane answering
+//!   per-pair path samples from epoch-swapped `RouteTable` snapshots,
+//!   with a background rebuilder for churn (`ssor-serve`).
 //!
 //! # Quickstart
 //!
@@ -66,5 +69,6 @@ pub use ssor_flow as flow;
 pub use ssor_graph as graph;
 pub use ssor_lowerbound as lowerbound;
 pub use ssor_oblivious as oblivious;
+pub use ssor_serve as serve;
 pub use ssor_sim as sim;
 pub use ssor_te as te;
