@@ -531,6 +531,8 @@ impl<'a> TemplateBuilder<'a> {
         template: &TemplateSpec,
         seed: u64,
     ) -> (SharedTemplate, TemplateBuildStats) {
+        // Diagnostics-only wall clock: TemplateBuildStats.wall never
+        // enters the serialized report body. lint: allow(wall_clock)
         let start = Instant::now();
         let (t, cached) = self.cache.template_with_hit(topo, template, seed);
         let stats = TemplateBuildStats {

@@ -16,7 +16,6 @@ use crate::stream::{FailureSweepReport, FailureTrial, StreamReport, StreamStep};
 use crate::sweep::{self, SweepOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use ssor_core::completion::{CompletionOptions, CompletionTimeRouter, ScaleGrowth};
 use ssor_core::sample::all_pairs;
 use ssor_core::{PathSystem, SemiObliviousRouter};
@@ -27,7 +26,7 @@ use ssor_flow::solver::{
     Solver,
 };
 use ssor_flow::{Demand, SolveOptions};
-use ssor_graph::{derive_seed, EdgeId, Graph, SubTopology};
+use ssor_graph::{derive_seed, par_ordered_map, EdgeId, Graph, SubTopology};
 use ssor_lowerbound::graphs::CGraphMeta;
 use ssor_sim::{simulate_routing, SimConfig};
 use std::sync::Arc;
@@ -538,6 +537,8 @@ impl Pipeline {
     /// assert!(r4.records[0].congestion <= r1.records[0].congestion * 1.1 + 1e-6);
     /// ```
     pub fn run(&self, cache: &PathSystemCache) -> RunReport {
+        // Diagnostics-only wall clock: RunReport.wall stays out of the
+        // canonical report body (see report_json). lint: allow(wall_clock)
         let start = Instant::now();
         let prepared = self.prepare(cache);
         let records = prepared.evaluate_batch(cache, &self.demands);
@@ -610,6 +611,7 @@ impl Pipeline {
         let prepared = self.prepare(cache);
         let g = prepared.graph();
         let demands = model.sequence(g.n(), steps);
+        // Diagnostics-only wall clock for StreamReport. lint: allow(wall_clock)
         let start = Instant::now();
         let mut warm_sol = Solver::new(g);
         let mut records = Vec::with_capacity(steps);
@@ -726,6 +728,7 @@ impl Pipeline {
         trials: usize,
         threads: Option<usize>,
     ) -> FailureSweepReport {
+        // Diagnostics-only wall clock for FailureSweepReport. lint: allow(wall_clock)
         let start = Instant::now();
         let prepared = self.prepare(cache);
         let g = prepared.graph();
@@ -1179,10 +1182,10 @@ impl PreparedPipeline {
         cache: &PathSystemCache,
         demands: &[(String, DemandSpec)],
     ) -> Vec<EvalRecord> {
-        demands
-            .par_iter()
-            .map(|(name, spec)| self.evaluate(cache, name, spec))
-            .collect()
+        // Ordered fan-out over the shared primitive: records come back
+        // in input order at any thread count (evaluations are
+        // independent; the cache handles concurrent fills).
+        par_ordered_map(demands, 2, |(name, spec)| self.evaluate(cache, name, spec))
     }
 }
 

@@ -85,6 +85,12 @@ pub fn par_alpha_sample<O: ObliviousRouting + Sync + ?Sized>(
     let block_len = pairs.len().div_ceil(blocks);
     let chunks: Vec<&[(VertexId, VertexId)]> = pairs.chunks(block_len.max(1)).collect();
     let partials: Vec<PathSystem> = chunks
+        // Reviewed fan-out (the "chunked partial merge" special case the
+        // par.rs docs name): chunk sizes adapt to the worker count, but
+        // every pair's α draws run on its own per-pair seeded stream
+        // inside exactly one chunk, and the arena absorb below walks the
+        // partials in chunk order — logically identical at any thread
+        // count. lint: allow(par_collect)
         .par_iter()
         .map(|chunk| {
             let mut ps = PathSystem::new();

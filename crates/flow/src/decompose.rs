@@ -108,7 +108,7 @@ pub fn decompose(
                 .iter()
                 .map(|a| (a.edge, a.to, arc_flow(&flow, cur, a.edge, g)))
                 .filter(|&(_, _, f)| f > tol)
-                .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(b.0.cmp(&a.0)));
+                .max_by(|a, b| a.2.total_cmp(&b.2).then(b.0.cmp(&a.0)));
             let Some((e, to, f)) = best else {
                 // Dead end with residual below tolerance: stop cleanly.
                 return out;
@@ -207,5 +207,20 @@ mod tests {
         let g = generators::ring(4);
         let d = decompose(&g, vec![0.0; 4], 0, 2, 1e-9);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn nan_poisoned_flow_does_not_panic() {
+        // A NaN-poisoned side of the ring (e.g. a solver overflow leaking
+        // into the electrical currents) must not panic the greedy walk's
+        // arc selection: the comparator is `total_cmp` and NaN arcs fail
+        // the `f > tol` residual filter, so the clean side decomposes and
+        // the poisoned mass is simply never walked.
+        let g = generators::ring(4); // edges: (0,1), (1,2), (2,3), (3,0)
+        let flow = vec![1.0, 1.0, f64::NAN, f64::NAN];
+        let d = decompose(&g, flow, 0, 2, 1e-9);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0.vertices(), &[0, 1, 2]);
+        assert!((d[0].1 - 1.0).abs() < 1e-9);
     }
 }

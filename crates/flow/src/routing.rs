@@ -2,7 +2,7 @@
 //! dilation (Section 4 of the paper).
 
 use crate::demand::Demand;
-use ssor_graph::{EdgeLoads, Graph, Path, VertexId};
+use ssor_graph::{par_ordered_map, EdgeLoads, Graph, Path, VertexId};
 use std::collections::BTreeMap;
 
 /// A path together with its probability mass within `R(s, t)`.
@@ -144,16 +144,14 @@ impl Routing {
             self.accumulate_pairs(d, &support, &mut load);
             return load;
         }
-        use rayon::prelude::*;
         let blocks: Vec<&[(VertexId, VertexId)]> = support.chunks(BLOCK).collect();
-        let partials: Vec<EdgeLoads> = blocks
-            .par_iter()
-            .map(|chunk| {
-                let mut load = EdgeLoads::for_graph(g);
-                self.accumulate_pairs(d, chunk, &mut load);
-                load
-            })
-            .collect();
+        // Fan out over the workspace's ordered primitive (the serial
+        // small-support path already returned above, so min_par is moot).
+        let partials: Vec<EdgeLoads> = par_ordered_map(&blocks, 2, |chunk| {
+            let mut load = EdgeLoads::for_graph(g);
+            self.accumulate_pairs(d, chunk, &mut load);
+            load
+        });
         EdgeLoads::par_merge(&partials)
     }
 

@@ -190,6 +190,9 @@ struct StatsAcc {
 impl StatsAcc {
     fn new() -> StatsAcc {
         StatsAcc {
+            // Diagnostics-only wall clock: feeds SolverStats, which the
+            // report layer keeps out of the deterministic comparison
+            // surface. lint: allow(wall_clock)
             started: Instant::now(),
             oracle_calls: 0,
             oracle_wall: Duration::ZERO,
@@ -199,7 +202,7 @@ impl StatsAcc {
 
     /// Times one oracle batch call.
     fn time_oracle<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // diagnostics-only oracle timing; lint: allow(wall_clock)
         let out = f();
         self.oracle_wall += t0.elapsed();
         self.oracle_calls += 1;
@@ -424,7 +427,15 @@ fn frank_wolfe(
             .zip(demands.iter())
             .map(|((_, c), dem)| c * dem)
             .sum();
-        lower_bound = lower_bound.max(num / wsum);
+        let certificate = num / wsum;
+        // Sentinel (debug builds): a NaN/∞ certificate means a poisoned
+        // weight or an overflowed softmax slipped past the clamps — fail
+        // at the dual update, not when a competitive ratio looks wrong.
+        debug_assert!(
+            certificate.is_finite(),
+            "non-finite dual certificate {certificate} (num={num}, wsum={wsum})"
+        );
+        lower_bound = lower_bound.max(certificate);
 
         if ub <= (1.0 + opts.eps) * lower_bound {
             converged = true;

@@ -83,7 +83,10 @@ pub fn k_shortest_paths(
     seen.insert(result[0].vertices().to_vec());
 
     while result.len() < k {
-        let prev = result.last().unwrap().clone();
+        let prev = result
+            .last()
+            .expect("result starts with the shortest path")
+            .clone();
         // Spur from each vertex of the previous path.
         for i in 0..prev.hop() {
             let spur_node = prev.vertices()[i];
@@ -117,12 +120,11 @@ pub fn k_shortest_paths(
             .iter()
             .enumerate()
             .min_by(|(_, (la, pa)), (_, (lb, pb))| {
-                la.partial_cmp(lb)
-                    .unwrap()
+                la.total_cmp(lb)
                     .then_with(|| pa.vertices().cmp(pb.vertices()))
             })
             .map(|(i, _)| i)
-            .unwrap();
+            .expect("candidate pool checked non-empty above");
         let (_, path) = candidates.swap_remove(best);
         result.push(path);
     }
@@ -147,7 +149,7 @@ pub fn all_simple_paths(g: &Graph, s: VertexId, t: VertexId, max_hop: usize) -> 
         on_path: &mut Vec<bool>,
         out: &mut Vec<Path>,
     ) {
-        let cur = *verts.last().unwrap();
+        let cur = *verts.last().expect("DFS stack seeded with s");
         if cur == t {
             out.push(Path::from_edges_unchecked(verts.clone(), edges.clone()));
             return;
@@ -237,6 +239,54 @@ mod tests {
         let ps = k_shortest_paths(&g, 0, 1, 2, &|e| lens[e as usize]);
         assert_eq!(ps[0].vertices(), &[0, 3, 2, 1]);
         assert_eq!(ps[1].vertices(), &[0, 1]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative or NaN length")]
+    fn nan_poisoned_length_fails_at_the_source() {
+        // A NaN edge length (a poisoned weight reaching the baseline KSP
+        // selector) used to surface as a `partial_cmp().unwrap()` panic
+        // deep in the candidate-pool `min_by`; now Dijkstra's sentinel
+        // names the poisoned edge the moment the length is read.
+        let g = generators::grid(3, 3);
+        let poisoned = g.edges_between(4, 5)[0];
+        let len = |e: EdgeId| -> f64 {
+            if e == poisoned {
+                f64::NAN
+            } else {
+                1.0
+            }
+        };
+        let _ = k_shortest_paths(&g, 0, 8, 4, &len);
+    }
+
+    #[test]
+    fn infinite_lengths_keep_candidate_order_deterministic() {
+        // Overflowed (infinite) path lengths must not destabilize the
+        // candidate pool: `total_cmp` orders +inf after every finite
+        // length and the vertex-sequence tie-break keeps equal-length
+        // candidates in one canonical order, so the selection is a pure
+        // function of the input.
+        let g = generators::grid(3, 3);
+        let heavy = g.edges_between(0, 1)[0];
+        // Any path using the heavy edge sums to +inf.
+        let len = |e: EdgeId| -> f64 {
+            if e == heavy {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        };
+        let ps = k_shortest_paths(&g, 0, 8, 6, &len);
+        assert!(!ps.is_empty());
+        for p in &ps {
+            assert!(p.is_simple());
+            assert!(p.is_valid(&g));
+        }
+        assert!(ps[0].edges().iter().all(|&e| e != heavy));
+        let again = k_shortest_paths(&g, 0, 8, 6, &len);
+        assert_eq!(ps, again);
     }
 
     #[test]

@@ -104,7 +104,16 @@ impl EdgeLoads {
     }
 
     /// Adds `w` units of flow along the interned path `id`.
+    ///
+    /// Debug builds reject a non-finite `w` at the call site: a NaN or
+    /// ∞ weight entering the accumulator would otherwise only surface
+    /// when a report or congestion max looks wrong, three layers away
+    /// from whichever solver or sampler produced it.
     pub fn add_path(&mut self, store: &PathStore, id: PathId, w: f64) {
+        debug_assert!(
+            w.is_finite(),
+            "non-finite path weight {w} entering EdgeLoads (path {id:?})"
+        );
         self.add_edges(store.edges(id), w);
     }
 
@@ -115,6 +124,12 @@ impl EdgeLoads {
     /// Panics if the two accumulators track different edge counts.
     pub fn merge(&mut self, other: &EdgeLoads) {
         assert_eq!(self.load.len(), other.load.len(), "edge count mismatch");
+        // Sentinel (debug builds): merging a poisoned partial poisons
+        // every downstream congestion number — catch it at the merge.
+        debug_assert!(
+            other.load.iter().all(|x| x.is_finite()),
+            "non-finite load entering EdgeLoads::merge"
+        );
         for (a, b) in self.load.iter_mut().zip(other.load.iter()) {
             *a += b;
         }
@@ -128,7 +143,16 @@ impl EdgeLoads {
     /// Maximum load — the congestion functional `max_e load(e)` (0 for an
     /// edgeless accumulator).
     pub fn max(&self) -> f64 {
-        self.load.iter().copied().fold(0.0, f64::max)
+        let max = self.load.iter().copied().fold(0.0, f64::max);
+        // Sentinel (debug builds): the congestion functional is the
+        // quantity every report serializes — it must never be NaN/∞.
+        // (`f64::max` would silently *hide* a NaN accumulator entry, so
+        // check the fold result, where ∞ still shows.)
+        debug_assert!(
+            max.is_finite(),
+            "non-finite congestion {max} out of EdgeLoads::max"
+        );
+        max
     }
 
     /// Sum of all loads (total flow × path length mass).
@@ -169,6 +193,11 @@ impl EdgeLoads {
             .map(|lo| (lo, (lo + chunk_len).min(m)))
             .collect();
         let pieces: Vec<Vec<f64>> = ranges
+            // Reviewed fan-out: this *is* one of the two ordered merge
+            // primitives the par_collect rule points everyone at — the
+            // chunks are disjoint edge ranges, reassembled in range order
+            // below, so the reduction is thread-count-invariant by
+            // construction. lint: allow(par_collect)
             .par_iter()
             .map(|&(lo, hi)| {
                 let mut acc = vec![0.0f64; hi - lo];
@@ -256,6 +285,32 @@ mod tests {
             seq.merge(p);
         }
         assert_eq!(par, seq, "bit-for-bit identical reduction");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite path weight")]
+    fn nan_weight_fails_at_add_path() {
+        let g = generators::ring(4);
+        let mut store = PathStore::new();
+        let id = store.intern(&Path::from_vertices(&g, &[0, 1]).unwrap());
+        let mut l = EdgeLoads::for_graph(&g);
+        l.add_path(&store, id, f64::NAN);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite load entering EdgeLoads::merge")]
+    fn poisoned_partial_fails_at_merge() {
+        let mut a = EdgeLoads::zeros(2);
+        a.merge(&EdgeLoads::from_vec(vec![1.0, f64::INFINITY]));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-finite congestion")]
+    fn overflowed_accumulator_fails_at_max() {
+        EdgeLoads::from_vec(vec![0.0, f64::INFINITY]).max();
     }
 
     #[test]

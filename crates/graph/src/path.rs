@@ -109,7 +109,7 @@ impl Path {
 
     /// Last vertex of the path.
     pub fn target(&self) -> VertexId {
-        *self.vertices.last().unwrap()
+        *self.vertices.last().expect("paths are never empty")
     }
 
     /// Hop length: number of edges (`hop(p)` in the paper).
@@ -157,7 +157,7 @@ impl Path {
             if let Some(&j) = pos.get(&v) {
                 // Unwind back to the first occurrence of v.
                 while stack_v.len() > j + 1 {
-                    let dropped = stack_v.pop().unwrap();
+                    let dropped = stack_v.pop().expect("stack holds > j+1 entries");
                     pos.remove(&dropped);
                     stack_e.pop();
                 }

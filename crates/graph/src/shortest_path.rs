@@ -146,10 +146,12 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance; tie-break on vertex id for determinism.
+        // `total_cmp`, not `partial_cmp().unwrap_or(Equal)`: treating a
+        // NaN distance as equal to everything makes the heap order (and
+        // thus the tree) depend on push order instead of on values.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
@@ -189,7 +191,11 @@ fn dijkstra_tree_in<A: Adjacency + ?Sized, V: EdgeView + ?Sized>(
             } else {
                 f64::INFINITY
             };
-            debug_assert!(w >= 0.0, "negative edge length");
+            // Sentinel at the source: a negative length breaks Dijkstra's
+            // invariant outright, and a NaN (`w >= 0.0` is false for NaN)
+            // would otherwise make the edge silently unusable — fail here,
+            // naming the edge, not three layers downstream.
+            debug_assert!(w >= 0.0, "negative or NaN length {w} on edge {}", a.edge);
             let nd = d + w;
             if nd < dist[a.to as usize] {
                 dist[a.to as usize] = nd;

@@ -1,0 +1,39 @@
+//! `ssor-lint` — the workspace invariant checker.
+//!
+//! Every guarantee this reproduction makes — competitive ratios from
+//! "few random paths" verified by *bit-identical* reports at any
+//! thread count, steal order, or shard count — rests on source-level
+//! invariants the compiler cannot see: all RNG streams derive from
+//! `ssor_graph::derive_seed`, parallel fan-out collects in input
+//! order, float comparisons use a total order, wall-clock reads never
+//! reach serialized bytes, no crate admits `unsafe`. Until this crate,
+//! those invariants lived in reviewers' heads and after-the-fact
+//! determinism tests; `ssor-lint` machine-checks them on every commit,
+//! *before* the build/test matrix spends its minutes.
+//!
+//! The design is deliberately token-level, not AST-level: a
+//! dependency-free scanner ([`scanner`]) blanks comments and literals
+//! following the real lexical grammar, and the rules ([`rules`]) are
+//! substring scans over the remaining code. That trades type-aware
+//! precision (the `float_ord` rule cannot know an expression's type)
+//! for a checker that builds in under a second, has no dependency
+//! tree to audit, and whose diagnostics are byte-stable golden-test
+//! material. The escape hatch is per-line and greppable:
+//! `// lint: allow(rule)`.
+//!
+//! Two entry modes (see [`runner`]): `--check` compares the tree and
+//! the committed ratchet baseline (`lint_budget.json`), `--bless`
+//! re-records the baseline — counts may only shrink through bless,
+//! which is what makes the ratchet a one-way street.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod rules;
+pub mod runner;
+pub mod scanner;
+
+pub use rules::{Diagnostic, FileClass};
+pub use runner::{run, Mode, Outcome};
+pub use scanner::{scan_source, SourceFile};

@@ -1,0 +1,132 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! ssor-lint [--check | --bless] [--root DIR] [--budget FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error
+//! — so CI can gate on it directly (`cargo run -p ssor-lint -- --check`).
+
+#![forbid(unsafe_code)]
+
+use ssor_lint::runner::{run, Mode};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ssor-lint [--check | --bless] [--root DIR] [--budget FILE] [--quiet]\n\
+         \n\
+         --check   compare the tree against the rulebook and the committed\n\
+         \u{20}         ratchet budget (default)\n\
+         --bless   rewrite the ratchet budget to the measured counts\n\
+         --root    workspace root (default: nearest ancestor with a\n\
+         \u{20}         [workspace] Cargo.toml)\n\
+         --budget  budget file (default: <root>/lint_budget.json)\n\
+         --quiet   suppress notes and the summary line"
+    );
+    ExitCode::from(2)
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the scan root.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root: Option<PathBuf> = None;
+    let mut budget: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--bless" => mode = Mode::Bless,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--budget" => match args.next() {
+                Some(v) => budget = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("ssor-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "ssor-lint: no [workspace] Cargo.toml above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let budget = budget.unwrap_or_else(|| root.join("lint_budget.json"));
+
+    let outcome = match run(&root, &budget, mode) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ssor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    if !quiet {
+        for note in &outcome.notes {
+            eprintln!("{note}");
+        }
+        let verb = match mode {
+            Mode::Check => "checked",
+            Mode::Bless => "blessed",
+        };
+        eprintln!(
+            "ssor-lint: {} {} files across {} crates: {}",
+            verb,
+            outcome.files_scanned,
+            outcome.counts.len(),
+            if outcome.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", outcome.diagnostics.len())
+            }
+        );
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

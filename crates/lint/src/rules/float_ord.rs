@@ -1,0 +1,96 @@
+//! Rule `float_ord`: total float orders only — no `partial_cmp` in
+//! comparison plumbing.
+//!
+//! **Why.** Congestion values, path lengths, and sampling weights are
+//! `f64`s that flow through sorts, max-selections, and binary heaps on
+//! every hot path. `partial_cmp(...).unwrap()` panics the moment a NaN
+//! reaches the comparator — and a NaN *can* reach it: a poisoned edge
+//! weight or an overflowed penalty term surfaces not where it was
+//! produced but three layers later, mid-decompose or mid-KSP, as an
+//! unwrap panic with no trace of the source (exactly the failure mode
+//! PR 5 fixed in the ECMP/electrical templates). The NaN-tolerant
+//! variants are no better: `unwrap_or(Ordering::Equal)` makes the
+//! comparison order — and therefore the selected path, and therefore
+//! the serialized report — depend on traversal order, which is the
+//! determinism contract's quietest failure. `f64::total_cmp` is the
+//! IEEE-754 `totalOrder`: deterministic for every bit pattern,
+//! NaN included, and branch-free.
+//!
+//! **Rule.** `.partial_cmp(` may not be called in workspace code; use
+//! `total_cmp`. A `sort_by`/`max_by`/`min_by` closure that unwraps a
+//! partial order on the same line gets a sharper message naming the
+//! combinator. `// lint: allow(float_ord)` exempts a line — legitimate
+//! only for non-float `PartialOrd` plumbing, which this token-level
+//! pass cannot distinguish from float comparisons.
+
+use super::{Diagnostic, FileClass};
+use crate::scanner::SourceFile;
+
+/// Rule name, as spelled in `lint: allow(...)`.
+pub const NAME: &str = "float_ord";
+
+const COMBINATORS: [&str; 6] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+];
+
+/// Scans one file for `.partial_cmp(` calls.
+pub fn check(file: &SourceFile, _class: &FileClass, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.allows(NAME) || !line.code.contains(".partial_cmp(") {
+            continue;
+        }
+        let combinator = COMBINATORS
+            .iter()
+            .find(|c| line.code.contains(&format!(".{c}(")));
+        let message = match combinator {
+            Some(c) if line.code.contains("unwrap") => format!(
+                "`{c}` closure unwraps a partial order: a single NaN panics mid-comparison \
+                 sort; use `total_cmp` (IEEE-754 totalOrder, deterministic for every bit \
+                 pattern)"
+            ),
+            _ => "`.partial_cmp(` on a float expression: NaN returns `None` (panic or \
+                  order-dependent fallback); use `total_cmp`"
+                .to_string(),
+        };
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: idx + 1,
+            rule: NAME,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    #[test]
+    fn plain_call_and_combinator_variant() {
+        let src = "let o = a.partial_cmp(&b);\n\
+                   v.max_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   let t = a.total_cmp(&b);\n\
+                   fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }\n";
+        let f = scan_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &FileClass::of("x.rs"), &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("total_cmp"));
+        assert!(out[1].message.contains("max_by"));
+    }
+
+    #[test]
+    fn allow_annotation_for_non_float_plumbing() {
+        let src = "// lint: allow(float_ord)\nself.key.partial_cmp(&other.key)\n";
+        let f = scan_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &FileClass::of("x.rs"), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Rule `ratchet`: per-crate budgets for hash containers and `unwrap`.
+//!
+//! **Why.** Two idioms are legal Rust, locally harmless, and globally
+//! corrosive here. `HashMap`/`HashSet` have randomized, run-dependent
+//! iteration order: iterate one into anything serialized — or even
+//! into a float accumulation order — and bytes change between runs
+//! (the representation layer exists precisely to keep hot paths on
+//! dense edge-id-indexed vectors and `BTreeMap`s). `.unwrap()` turns a
+//! violated invariant into a traceless panic three layers from the
+//! cause — the decompose/KSP NaN panics this PR fixes were exactly
+//! unwraps on a poisoned float order. Neither can be banned outright
+//! (bounded lookups and invariant-backed unwraps are idiomatic), so
+//! they are *ratcheted*: each crate's count may never grow past the
+//! committed baseline in `lint_budget.json`, and `--bless` re-records
+//! the baseline — which is how reductions tighten it for everyone who
+//! comes after.
+//!
+//! **What counts.** Word-boundary `HashMap`/`HashSet` tokens and
+//! literal `.unwrap()` calls in the code (comments, doc examples, and
+//! strings never count — the scanner blanks them), over each crate's
+//! `src/` tree only (`tests/`, `benches/`, `examples/` may unwrap
+//! freely; in-file `#[cfg(test)]` modules do count, which is
+//! deliberate slack in the budget, not precision). A line annotated
+//! `// lint: allow(ratchet)` is excluded from counting.
+
+use super::Diagnostic;
+use crate::scanner::{count_word, SourceFile};
+use std::collections::BTreeMap;
+
+/// Rule name, as spelled in `lint: allow(...)`.
+pub const NAME: &str = "ratchet";
+
+/// The two ratcheted metrics, for one file or one crate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Word-boundary `HashMap` + `HashSet` occurrences.
+    pub hash_containers: usize,
+    /// Literal `.unwrap()` calls.
+    pub unwraps: usize,
+}
+
+impl Counts {
+    /// Accumulates another file's counts into this crate total.
+    pub fn add(&mut self, other: Counts) {
+        self.hash_containers += other.hash_containers;
+        self.unwraps += other.unwraps;
+    }
+}
+
+/// Counts the ratcheted tokens in one scanned file.
+pub fn count_file(file: &SourceFile) -> Counts {
+    let mut c = Counts::default();
+    for line in &file.lines {
+        if line.allows(NAME) {
+            continue;
+        }
+        c.hash_containers += count_word(&line.code, "HashMap");
+        c.hash_containers += count_word(&line.code, "HashSet");
+        c.unwraps += line.code.matches(".unwrap()").count();
+    }
+    c
+}
+
+/// Maps a workspace-relative path to the budget key of the crate whose
+/// `src/` tree it belongs to (`None` for tests, benches, examples).
+pub fn crate_of(rel_path: &str) -> Option<String> {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        let (dir, tail) = rest.split_once('/')?;
+        if tail.starts_with("src/") {
+            return Some(format!("ssor-{dir}"));
+        }
+        return None;
+    }
+    if rel_path.starts_with("src/") {
+        return Some("ssor".to_string());
+    }
+    None
+}
+
+/// Compares measured per-crate counts against the committed budget.
+///
+/// Overruns become diagnostics (anchored at the budget file, which is
+/// where the fix — or the bless — lands); crates missing from the
+/// budget are overruns of an implicit zero; counts *below* budget
+/// produce notes suggesting `--bless`, so reductions get committed as
+/// the new ceiling.
+pub fn check_counts(
+    budget_path: &str,
+    counts: &BTreeMap<String, Counts>,
+    budget: &BTreeMap<String, Counts>,
+    out: &mut Vec<Diagnostic>,
+    notes: &mut Vec<String>,
+) {
+    for (krate, c) in counts {
+        let b = budget.get(krate).copied();
+        let (bh, bu) = match b {
+            Some(b) => (b.hash_containers, b.unwraps),
+            None => {
+                out.push(Diagnostic {
+                    path: budget_path.to_string(),
+                    line: 1,
+                    rule: NAME,
+                    message: format!(
+                        "crate `{krate}` has no budget entry (measured: {} hash containers, \
+                         {} unwraps); run `ssor-lint --bless` to record it",
+                        c.hash_containers, c.unwraps
+                    ),
+                });
+                continue;
+            }
+        };
+        for (metric, have, max) in [
+            ("hash_containers", c.hash_containers, bh),
+            ("unwraps", c.unwraps, bu),
+        ] {
+            if have > max {
+                out.push(Diagnostic {
+                    path: budget_path.to_string(),
+                    line: 1,
+                    rule: NAME,
+                    message: format!(
+                        "crate `{krate}` exceeds its `{metric}` budget: {have} > {max} — \
+                         remove the new uses (HashMap iteration order and unwrap panics \
+                         both erode the determinism contract) or justify raising the \
+                         budget in review"
+                    ),
+                });
+            } else if have < max {
+                notes.push(format!(
+                    "note: crate `{krate}` is under its `{metric}` budget ({have} < {max}); \
+                     run `ssor-lint --bless` to tighten the ratchet"
+                ));
+            }
+        }
+    }
+    for krate in budget.keys() {
+        if !counts.contains_key(krate) {
+            notes.push(format!(
+                "note: budget entry `{krate}` matches no crate in the workspace; \
+                 run `ssor-lint --bless` to drop it"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    #[test]
+    fn counting_ignores_comments_strings_and_allowed_lines() {
+        let src = "use std::collections::HashMap;\n\
+                   // HashMap in a comment, .unwrap() too\n\
+                   let s = \"HashSet\";\n\
+                   let x = opt.unwrap();\n\
+                   let m: HashMap<u32, HashSet<u32>> = HashMap::new(); // lint: allow(ratchet)\n";
+        let f = scan_source("crates/x/src/a.rs", src);
+        let c = count_file(&f);
+        assert_eq!(c.hash_containers, 1);
+        assert_eq!(c.unwraps, 1);
+    }
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(
+            crate_of("crates/graph/src/par.rs").as_deref(),
+            Some("ssor-graph")
+        );
+        assert_eq!(
+            crate_of("crates/bench/src/bin/e1.rs").as_deref(),
+            Some("ssor-bench")
+        );
+        assert_eq!(crate_of("src/lib.rs").as_deref(), Some("ssor"));
+        assert_eq!(crate_of("crates/graph/tests/t.rs"), None);
+        assert_eq!(crate_of("tests/determinism.rs"), None);
+        assert_eq!(crate_of("examples/quickstart.rs"), None);
+    }
+
+    #[test]
+    fn ratchet_semantics() {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "ssor-a".to_string(),
+            Counts {
+                hash_containers: 3,
+                unwraps: 1,
+            },
+        );
+        counts.insert(
+            "ssor-new".to_string(),
+            Counts {
+                hash_containers: 0,
+                unwraps: 2,
+            },
+        );
+        let mut budget = BTreeMap::new();
+        budget.insert(
+            "ssor-a".to_string(),
+            Counts {
+                hash_containers: 2,
+                unwraps: 5,
+            },
+        );
+        budget.insert("ssor-gone".to_string(), Counts::default());
+        let (mut out, mut notes) = (Vec::new(), Vec::new());
+        check_counts("lint_budget.json", &counts, &budget, &mut out, &mut notes);
+        // ssor-a: hash overrun + unwrap under-budget note; ssor-new:
+        // missing entry; ssor-gone: stale note.
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("exceeds its `hash_containers`"));
+        assert!(out[1].message.contains("no budget entry"));
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("tighten"));
+        assert!(notes[1].contains("matches no crate"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Rule `rng`: ban ambient-entropy RNG sources.
+//!
+//! **Why.** Every stochastic quantity in this reproduction — the α
+//! sampled paths per pair (the paper's "few random paths"), FRT tree
+//! draws, failure-trial knockouts, per-request serving replies — must
+//! be a pure function of the run's master seed, because the test suite
+//! and the sweep journal verify results *bit-identically* across thread
+//! counts, steal orders, shard counts, and crash/resume splits. One
+//! `thread_rng()` call anywhere in that dataflow makes the output
+//! depend on ambient OS entropy: the determinism suites turn flaky in
+//! the worst possible way (pass locally, fail in CI, unreproducible).
+//!
+//! **Rule.** The tokens `thread_rng`, `rand::random`, and
+//! `from_entropy` may not appear in workspace code. All RNG streams
+//! must be seeded `StdRng`s whose seeds derive from
+//! `ssor_graph::derive_seed(master, index)` (or a documented
+//! per-stream tag XOR), so any scheduler can hand any item its stream.
+//!
+//! **Escape hatch.** None in tree today. `// lint: allow(rng)` exists
+//! for symmetry with the other rules but a use of it should not survive
+//! review: there is no legitimate ambient entropy in this workspace.
+
+use super::{Diagnostic, FileClass};
+use crate::scanner::{contains_word, SourceFile};
+
+/// Rule name, as spelled in `lint: allow(...)`.
+pub const NAME: &str = "rng";
+
+const BANNED: [(&str, &str); 3] = [
+    (
+        "thread_rng",
+        "ambient OS entropy breaks bit-identical replay; seed a StdRng from ssor_graph::derive_seed",
+    ),
+    (
+        "rand::random",
+        "ambient OS entropy breaks bit-identical replay; seed a StdRng from ssor_graph::derive_seed",
+    ),
+    (
+        "from_entropy",
+        "ambient OS entropy breaks bit-identical replay; derive the seed from ssor_graph::derive_seed",
+    ),
+];
+
+/// Scans one file for banned RNG sources.
+pub fn check(file: &SourceFile, _class: &FileClass, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.allows(NAME) {
+            continue;
+        }
+        for (token, why) in BANNED {
+            if contains_word(&line.code, token) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: NAME,
+                    message: format!("banned RNG source `{token}`: {why}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    #[test]
+    fn fires_on_each_banned_token_but_not_comments_or_strings() {
+        let src = "let a = thread_rng();\n\
+                   let b: u8 = rand::random();\n\
+                   let c = StdRng::from_entropy();\n\
+                   // thread_rng mentioned in a comment\n\
+                   let d = \"thread_rng\";\n\
+                   let e = my_thread_rng_like();\n";
+        let f = scan_source("x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &FileClass::of("x.rs"), &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[1].line, 2);
+        assert_eq!(out[2].line, 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Workspace walk and check orchestration.
+//!
+//! Files are visited in sorted path order and diagnostics are sorted
+//! `(path, line, rule)` before printing, so the checker's output is a
+//! pure function of the tree's contents — the same byte-stability
+//! standard the rest of the workspace holds its reports to.
+
+use crate::budget;
+use crate::rules::{self, ratchet, Diagnostic, FileClass};
+use crate::scanner::scan_source;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored shims
+/// (not first-party code), VCS metadata, and test fixtures (lint
+/// fixtures *contain* violations on purpose).
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "results"];
+
+/// What to do with the ratchet baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Compare measured counts against the committed budget.
+    Check,
+    /// Rewrite the budget to the measured counts (tightening or
+    /// initializing the ratchet). Other rules still report.
+    Bless,
+}
+
+/// The result of a full workspace run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Rule violations, sorted `(path, line, rule, message)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Non-fatal observations (under-budget ratchets, stale entries).
+    pub notes: Vec<String>,
+    /// Measured per-crate ratchet counts.
+    pub counts: BTreeMap<String, ratchet::Counts>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// Whether the run found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Collects every workspace `.rs` file under `root`, sorted by
+/// workspace-relative path.
+fn collect_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(io::Error::other)?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                files.push((rel, path));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the full rulebook over the workspace at `root` against the
+/// budget at `budget_path`. In [`Mode::Bless`] the budget file is
+/// rewritten to the measured counts instead of being compared.
+pub fn run(root: &Path, budget_path: &Path, mode: Mode) -> io::Result<Outcome> {
+    let mut outcome = Outcome::default();
+    let budget_label = budget_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("lint_budget.json")
+        .to_string();
+
+    for (rel, path) in collect_sources(root)? {
+        let text = fs::read_to_string(&path)?;
+        let file = scan_source(&rel, &text);
+        let class = FileClass::of(&rel);
+        rules::check_file(&file, &class, &mut outcome.diagnostics);
+        if let Some(krate) = ratchet::crate_of(&rel) {
+            outcome
+                .counts
+                .entry(krate)
+                .or_default()
+                .add(ratchet::count_file(&file));
+        }
+        outcome.files_scanned += 1;
+    }
+
+    match mode {
+        Mode::Bless => {
+            fs::write(budget_path, budget::to_json(&outcome.counts))?;
+        }
+        Mode::Check => match fs::read_to_string(budget_path) {
+            Ok(text) => {
+                let committed = budget::from_json(&text)?;
+                ratchet::check_counts(
+                    &budget_label,
+                    &outcome.counts,
+                    &committed,
+                    &mut outcome.diagnostics,
+                    &mut outcome.notes,
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                outcome.diagnostics.push(Diagnostic {
+                    path: budget_label,
+                    line: 1,
+                    rule: ratchet::NAME,
+                    message: "ratchet budget file not found; run `ssor-lint --bless` to \
+                              record the baseline"
+                        .to_string(),
+                });
+            }
+            Err(e) => return Err(e),
+        },
+    }
+
+    outcome.diagnostics.sort();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_list_covers_fixture_and_vendor_trees() {
+        for dir in ["vendor", "target", "fixtures"] {
+            assert!(SKIP_DIRS.contains(&dir));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden tests: every rule family must fire on its positive fixture
+//! and stay silent on its negative fixture.
+//!
+//! Each `tests/fixtures/<rule>/` directory holds `positive.rs` (code
+//! the rule must flag), `negative.rs` (near-miss code it must accept),
+//! and `positive.expected` (the byte-exact diagnostics for the
+//! positive file). The fixtures are plain text, never compiled — the
+//! workspace runner skips any directory named `fixtures` so the
+//! self-check does not trip over them.
+//!
+//! Regenerate goldens after an intentional message change with
+//! `UPDATE_GOLDEN=1 cargo test -p ssor-lint --test fixtures`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use ssor_lint::rules::{self, ratchet};
+use ssor_lint::{scan_source, Diagnostic, FileClass};
+
+fn fixture_dir(rule: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+}
+
+/// Runs the per-file rules on one fixture under a pretend workspace
+/// path (so `FileClass` gives the file the right obligations).
+fn check_fixture(rule: &str, which: &str, pretend_path: &str) -> Vec<Diagnostic> {
+    let text = fs::read_to_string(fixture_dir(rule).join(which)).unwrap();
+    let file = scan_source(pretend_path, &text);
+    let class = FileClass::of(pretend_path);
+    let mut out = Vec::new();
+    rules::check_file(&file, &class, &mut out);
+    out.sort();
+    out
+}
+
+/// Compares rendered diagnostics against `<rule>/positive.expected`,
+/// or rewrites the golden when `UPDATE_GOLDEN=1`.
+fn assert_golden(rule: &str, diagnostics: &[Diagnostic]) {
+    assert!(
+        !diagnostics.is_empty(),
+        "{rule}: positive fixture must fire at least once"
+    );
+    let rendered: String = diagnostics.iter().map(|d| format!("{d}\n")).collect();
+    let golden = fixture_dir(rule).join("positive.expected");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&golden, &rendered).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&golden)
+        .unwrap_or_else(|_| panic!("{rule}: missing golden — run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        rendered, want,
+        "{rule}: diagnostics drifted from positive.expected \
+         (UPDATE_GOLDEN=1 to re-bless an intentional change)"
+    );
+}
+
+fn assert_silent(rule: &str, diagnostics: &[Diagnostic]) {
+    assert!(
+        diagnostics.is_empty(),
+        "{rule}: negative fixture must be clean, got:\n{}",
+        diagnostics
+            .iter()
+            .map(|d| format!("{d}\n"))
+            .collect::<String>()
+    );
+}
+
+/// Per-file rules share one harness shape; ratchet (below) goes
+/// through the budget comparison instead.
+fn per_file_case(rule: &str, pretend_path: &str) {
+    assert_golden(rule, &check_fixture(rule, "positive.rs", pretend_path));
+    assert_silent(rule, &check_fixture(rule, "negative.rs", pretend_path));
+}
+
+#[test]
+fn rng_rule_fires_and_accepts() {
+    per_file_case("rng", "crates/fxt/src/sampling.rs");
+}
+
+#[test]
+fn wall_clock_rule_fires_and_accepts() {
+    // The report_json.rs pretend path turns on the serialized
+    // field-name cross-check as well as the banned-call scan.
+    per_file_case("wall_clock", "crates/fxt/src/report_json.rs");
+}
+
+#[test]
+fn float_ord_rule_fires_and_accepts() {
+    per_file_case("float_ord", "crates/fxt/src/order.rs");
+}
+
+#[test]
+fn par_collect_rule_fires_and_accepts() {
+    per_file_case("par_collect", "crates/fxt/src/fan.rs");
+}
+
+#[test]
+fn par_collect_rule_exempts_the_par_module() {
+    // The same raw adapters are legal inside the one module that
+    // implements the ordered primitives.
+    let d = check_fixture("par_collect", "positive.rs", "crates/graph/src/par.rs");
+    assert!(d.is_empty(), "par.rs itself is exempt, got {d:?}");
+}
+
+#[test]
+fn forbid_unsafe_rule_fires_and_accepts() {
+    per_file_case("forbid_unsafe", "crates/fxt/src/lib.rs");
+}
+
+#[test]
+fn forbid_unsafe_only_binds_crate_roots() {
+    let text = fs::read_to_string(fixture_dir("forbid_unsafe").join("positive.rs")).unwrap();
+    let file = scan_source("crates/fxt/src/helper.rs", &text);
+    let class = FileClass::of("crates/fxt/src/helper.rs");
+    let mut out = Vec::new();
+    rules::check_file(&file, &class, &mut out);
+    assert!(out.is_empty(), "non-root modules carry no attribute duty");
+}
+
+#[test]
+fn ratchet_rule_fires_and_accepts() {
+    let budget: BTreeMap<String, ratchet::Counts> = [(
+        "ssor-fxt".to_string(),
+        ratchet::Counts {
+            hash_containers: 1,
+            unwraps: 1,
+        },
+    )]
+    .into();
+
+    let count = |which: &str| {
+        let text = fs::read_to_string(fixture_dir("ratchet").join(which)).unwrap();
+        let file = scan_source("crates/fxt/src/state.rs", &text);
+        let mut counts = BTreeMap::new();
+        counts.insert("ssor-fxt".to_string(), ratchet::count_file(&file));
+        counts
+    };
+
+    let mut out = Vec::new();
+    let mut notes = Vec::new();
+    ratchet::check_counts(
+        "lint_budget.json",
+        &count("positive.rs"),
+        &budget,
+        &mut out,
+        &mut notes,
+    );
+    out.sort();
+    assert_golden("ratchet", &out);
+
+    let mut out = Vec::new();
+    let mut notes = Vec::new();
+    ratchet::check_counts(
+        "lint_budget.json",
+        &count("negative.rs"),
+        &budget,
+        &mut out,
+        &mut notes,
+    );
+    assert_silent("ratchet", &out);
+    assert!(notes.is_empty(), "exactly on budget leaves no slack note");
+}

@@ -1,0 +1,12 @@
+// Fixture: total-order float comparisons the float_ord rule accepts.
+
+fn pick(xs: &mut Vec<(usize, f64)>) -> Option<(usize, f64)> {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    xs.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+// partial_cmp on non-float types routed through Ord is also fine once
+// spelled as cmp.
+fn tie_break(a: &[u32], b: &[u32]) -> std::cmp::Ordering {
+    a.cmp(b)
+}

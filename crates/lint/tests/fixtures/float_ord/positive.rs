@@ -1,0 +1,8 @@
+// Fixture: NaN-hazardous float comparisons the float_ord rule flags.
+
+fn pick(xs: &mut Vec<(usize, f64)>) -> Option<(usize, f64)> {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}

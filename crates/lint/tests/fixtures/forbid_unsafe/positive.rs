@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]` (scanned
+//! under a `src/lib.rs` pretend path).
+
+pub fn noop() {}

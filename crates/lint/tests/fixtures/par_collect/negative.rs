@@ -1,0 +1,19 @@
+// Fixture: fan-out through the blessed primitives, plus a reviewed
+// raw adapter behind the allow annotation.
+
+fn fan_out(items: &[Item]) -> Vec<Out> {
+    par_ordered_map(items, 2, process)
+}
+
+fn reduce(parts: &[EdgeLoads]) -> EdgeLoads {
+    EdgeLoads::par_merge(parts)
+}
+
+fn reviewed(ranges: &[(usize, usize)]) -> Vec<Vec<f64>> {
+    ranges
+        // Disjoint ranges reassembled in range order below — reviewed,
+        // thread-count-invariant. lint: allow(par_collect)
+        .par_iter()
+        .map(fill)
+        .collect()
+}

@@ -1,0 +1,11 @@
+// Fixture: two hash-container occurrences and two unwraps — over the
+// 1/1 budget the harness checks this file against.
+
+fn state() -> Vec<(u32, f64)> {
+    let mut m = HashMap::new();
+    let mut s = HashSet::new();
+    s.insert(1);
+    m.insert(1, lookup(1).unwrap());
+    m.insert(2, lookup(2).unwrap());
+    m.into_iter().collect()
+}

@@ -1,0 +1,13 @@
+// Fixture: seeded RNG use the rng rule must accept, plus banned names
+// in positions the scanner must blank (comments and string literals).
+
+// A comment mentioning thread_rng is documentation, not a violation.
+fn seeded_draws(master: u64) {
+    let mut rng = StdRng::seed_from_u64(derive_seed(master, 0));
+    let msg = "do not call thread_rng or from_entropy";
+    let x: f64 = rng.gen();
+    let _ = (msg, x);
+}
+
+// An identifier that merely *contains* a banned word is fine.
+fn my_thread_rng_audit() {}

@@ -1,0 +1,9 @@
+// Fixture: every ambient-entropy spelling the rng rule bans.
+// (Never compiled — scanned as text by the golden harness.)
+
+fn ambient_draws() {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let r = StdRng::from_entropy();
+    let _ = (rng, x, r);
+}

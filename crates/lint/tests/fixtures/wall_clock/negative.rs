@@ -1,0 +1,22 @@
+// Fixture: annotated wall-clock reads and timing-free field names.
+
+fn timed_build() {
+    // Diagnostics-only timing, kept out of the report body.
+    let t0 = Instant::now(); // lint: allow(wall_clock)
+    // A standalone allow comment governs the next code line.
+    // lint: allow(wall_clock)
+    let stamp = SystemTime::now();
+    let _ = (t0, stamp);
+}
+
+fn serialize(report: &Report) -> Value {
+    obj(vec![
+        ("congestion", num(report.congestion)),
+        ("sparsity", num(report.sparsity as f64)),
+    ])
+}
+
+// The word "wall" outside field-name position (no `(`/`,` context).
+fn doc() -> &'static str {
+    "wall"
+}

@@ -1,0 +1,16 @@
+// Fixture: un-annotated wall-clock reads, plus a timing-vocabulary
+// field name in report_json position (the harness scans this file
+// under a `report_json.rs` pretend path so the cross-check applies).
+
+fn timed_build() {
+    let t0 = Instant::now();
+    let stamp = SystemTime::now();
+    let _ = (t0, stamp);
+}
+
+fn serialize(report: &Report) -> Value {
+    obj(vec![
+        ("congestion", num(report.congestion)),
+        ("wall_secs", num(report.wall.as_secs_f64())),
+    ])
+}

@@ -1,0 +1,53 @@
+//! The workspace must pass its own lint: `ssor-lint --check` against
+//! the committed `lint_budget.json` is a tier-1 test, not just a CI
+//! job, so `cargo test` alone catches a determinism-contract
+//! regression.
+
+use std::path::PathBuf;
+
+use ssor_lint::{run, Mode};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> crates/ -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let budget = root.join("lint_budget.json");
+    let outcome = run(&root, &budget, Mode::Check).expect("workspace scan");
+    assert!(
+        outcome.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.is_clean(),
+        "workspace lint violations:\n{}",
+        outcome
+            .diagnostics
+            .iter()
+            .map(|d| format!("{d}\n"))
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn budget_matches_measured_counts() {
+    // The committed budget must not drift *above* reality either:
+    // stale slack would let new HashMaps in silently. `--bless`
+    // keeps it tight; this test keeps `--bless` honest.
+    let root = workspace_root();
+    let budget = root.join("lint_budget.json");
+    let outcome = run(&root, &budget, Mode::Check).expect("workspace scan");
+    assert!(
+        outcome.notes.is_empty(),
+        "budget has slack — run `cargo run -p ssor-lint -- --bless`:\n{}",
+        outcome.notes.join("\n")
+    );
+}

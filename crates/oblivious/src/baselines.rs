@@ -103,7 +103,7 @@ impl ObliviousRouting for KspRouting {
         assert_ne!(s, t);
         let ps = k_shortest_paths(&self.graph, s, t, self.k, &|_| 1.0);
         let i = rng.gen_range(0..ps.len());
-        ps.into_iter().nth(i).unwrap()
+        ps.into_iter().nth(i).expect("index drawn from 0..len")
     }
 
     fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
@@ -236,9 +236,12 @@ impl ObliviousRouting for EcmpRouting {
             if out.len() >= cap {
                 return;
             }
-            let cur = *stack_verts.last().unwrap();
+            let cur = *stack_verts.last().expect("DFS stack seeded with s");
             if cur == t {
-                out.push(Path::from_edges(g, stack_verts[0], stack_edges).unwrap());
+                out.push(
+                    Path::from_edges(g, stack_verts[0], stack_edges)
+                        .expect("DFS follows graph adjacency"),
+                );
                 return;
             }
             for a in g.neighbors(cur) {

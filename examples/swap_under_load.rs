@@ -57,6 +57,7 @@ fn drive(plane: &QueryPlane, reqs: &[Request], batches: usize) -> (Vec<Vec<Reply
     let mut replies = Vec::with_capacity(batches);
     let mut nanos = Vec::with_capacity(batches);
     for _ in 0..batches {
+        // Example prints latency to stderr; never serialized. lint: allow(wall_clock)
         let start = Instant::now();
         replies.push(plane.answer_batch(reqs));
         nanos.push(start.elapsed().as_nanos());
