@@ -19,7 +19,9 @@ use rand::SeedableRng;
 use ssor_engine::{PathSystemCache, TemplateBuilder, TemplateSpec, TopologySpec};
 use ssor_graph::generators;
 use ssor_oblivious::frt::sample_tree_routings_seeded;
-use ssor_oblivious::{Metric, ObliviousRouting, RaeckeOptions, RaeckeRouting};
+use ssor_oblivious::{
+    ElectricalRouting, Metric, ObliviousRouting, RaeckeOptions, RaeckeRouting, RandomWalkRouting,
+};
 use std::time::Instant;
 
 /// Times `f` over `iters` runs (after one warmup) and prints min/mean.
@@ -67,6 +69,23 @@ fn main() {
     bench("templates", "raecke_build_12iter_waxman64", 5, || {
         RaeckeRouting::build(&wan, &raecke_opts, &mut StdRng::seed_from_u64(11))
     });
+    bench("templates", "electrical_precompute_waxman64", 10, || {
+        ElectricalRouting::new(&wan).precomputed()
+    });
+    bench(
+        "templates",
+        "random_walk_32walks_waxman64_16pairs",
+        10,
+        || {
+            let rw = RandomWalkRouting::new(&wan, 32, 4 * wan.n(), 11);
+            for s in 0..4u32 {
+                for t in 4..8u32 {
+                    rw.path_distribution(s, t);
+                }
+            }
+            rw
+        },
+    );
 
     // Engine-level ensemble fan-out: distinct seeds of the FrtEnsemble
     // template built concurrently through the cache.

@@ -1,11 +1,16 @@
-//! A1 — ablation: which base oblivious routing should one sample from?
+//! A1 — template bake-off: which base oblivious routing should one
+//! sample from, and what does building it cost?
 //!
 //! Theorem 5.3 is black-box in the oblivious routing `R`: the sample
-//! inherits `R`'s competitiveness. This ablation quantifies the choice on
-//! a fixed graph/demand suite: Räcke-MWU trees vs a plain FRT ensemble
-//! (no reweighting) vs electrical flows vs ECMP vs single shortest paths,
-//! all sampled at the same sparsity. It also sweeps the Räcke iteration
-//! count (the only knob of the `[Räc08]` construction we expose).
+//! inherits `R`'s competitiveness. This bake-off quantifies the choice
+//! across the workspace's three serving topologies (Waxman WAN, Clos
+//! leaf–spine, hypercube) for the five general-purpose templates:
+//! Räcke-MWU trees, a plain FRT ensemble (no reweighting), electrical
+//! flows (per-source preconditioned Laplacian solves), random walks
+//! (Schapira–Shahaf), and generic Valiant load balancing — plus the
+//! deterministic single-shortest-path strawman as the floor. Each cell
+//! reports the sampled competitive ratio *and* the template build wall,
+//! because the schemes trade exactly those two off.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,14 +21,17 @@ use ssor_flow::solver::min_congestion_unrestricted;
 use ssor_flow::{Demand, SolveOptions};
 use ssor_graph::{generators, Graph};
 use ssor_oblivious::{
-    EcmpRouting, ElectricalRouting, ObliviousRouting, RaeckeOptions, RaeckeRouting,
-    ShortestPathRouting,
+    ElectricalRouting, ObliviousRouting, RaeckeOptions, RaeckeRouting, RandomWalkRouting,
+    ShortestPathRouting, VlbRouting,
 };
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Row {
+    topology: String,
     base_routing: String,
     mean_ratio: f64,
+    build_wall_ms: f64,
 }
 
 fn mean_ratio<O: ObliviousRouting + ?Sized>(
@@ -48,76 +56,115 @@ fn mean_ratio<O: ObliviousRouting + ?Sized>(
     geomean(&ratios)
 }
 
+/// Builds each of the six templates on `g`, timing construction.
+fn build_schemes(g: &Graph) -> Vec<(&'static str, Box<dyn ObliviousRouting>, f64)> {
+    let mut out: Vec<(&'static str, Box<dyn ObliviousRouting>, f64)> = Vec::new();
+    let timed = |name: &'static str,
+                 build: &mut dyn FnMut() -> Box<dyn ObliviousRouting>,
+                 out: &mut Vec<(&'static str, Box<dyn ObliviousRouting>, f64)>| {
+        let t0 = Instant::now();
+        let routing = build();
+        out.push((name, routing, t0.elapsed().as_secs_f64() * 1e3));
+    };
+    timed(
+        "Räcke MWU (12 trees)",
+        &mut || {
+            Box::new(RaeckeRouting::build(
+                g,
+                &RaeckeOptions {
+                    iterations: 12,
+                    epsilon: 0.5,
+                },
+                &mut StdRng::seed_from_u64(5),
+            ))
+        },
+        &mut out,
+    );
+    timed(
+        "FRT ensemble (12 trees, no MWU)",
+        &mut || Box::new(RaeckeRouting::frt_ensemble(g, 12, 7)),
+        &mut out,
+    );
+    timed(
+        "electrical (per-source PCG)",
+        &mut || Box::new(ElectricalRouting::new(g).precomputed()),
+        &mut out,
+    );
+    timed(
+        "random walks (32 × len 4n)",
+        &mut || Box::new(RandomWalkRouting::new(g, 32, 4 * g.n(), 13)),
+        &mut out,
+    );
+    timed(
+        "VLB (uniform intermediate)",
+        &mut || Box::new(VlbRouting::new(g)),
+        &mut out,
+    );
+    timed(
+        "single shortest path",
+        &mut || Box::new(ShortestPathRouting::new(g)),
+        &mut out,
+    );
+    out
+}
+
 fn main() {
     banner(
         "A1",
-        "ablation over the base oblivious routing (Theorem 5.3 is black-box in R)",
-        "sampling inherits the base routing's competitiveness; diverse randomized supports beat deterministic single paths",
+        "template bake-off over the base oblivious routing (Theorem 5.3 is black-box in R)",
+        "sampling inherits the base routing's competitiveness; build cost varies by orders of magnitude across schemes",
     );
-    let g = generators::random_regular(48, 4, &mut StdRng::seed_from_u64(3));
     let alpha = 4usize;
-    let mut rng = StdRng::seed_from_u64(4);
-    let demands: Vec<Demand> = (0..4)
-        .map(|_| Demand::random_permutation(48, &mut rng))
-        .collect();
     let opts = SolveOptions::with_eps(0.07);
-    println!("graph: random 4-regular, n = 48; α = {alpha}; 4 random permutation demands\n");
 
-    let mut table = Table::new(&["base oblivious routing", "mean ratio(≤)"]);
+    let topologies: Vec<(&str, Graph)> = vec![
+        (
+            "WAN (Waxman, n=48)",
+            generators::waxman_connected(48, 0.4, 0.25, 3, 16).0,
+        ),
+        (
+            "Clos (4 spines × 8 leaves × 2 hosts)",
+            generators::leaf_spine(4, 8, 2, 1),
+        ),
+        ("hypercube (d=5)", generators::hypercube(5)),
+    ];
+    println!("α = {alpha}; 3 random permutation demands per topology\n");
+
+    let mut table = Table::new(&[
+        "topology",
+        "base oblivious routing",
+        "mean ratio(≤)",
+        "build wall (ms)",
+    ]);
     let mut rows: Vec<Row> = Vec::new();
-    let push = |name: &str, r: f64, table: &mut Table, rows: &mut Vec<Row>| {
-        table.row(&[name.to_string(), fx(r)]);
-        rows.push(Row {
-            base_routing: name.into(),
-            mean_ratio: r,
-        });
-    };
 
-    for iters in [4usize, 12, 24] {
-        let raecke = RaeckeRouting::build(
-            &g,
-            &RaeckeOptions {
-                iterations: iters,
-                epsilon: 0.5,
-            },
-            &mut StdRng::seed_from_u64(5),
-        );
-        let r = mean_ratio(&raecke, &g, &demands, alpha, &opts, 6);
-        push(
-            &format!("Räcke MWU ({iters} trees)"),
-            r,
-            &mut table,
-            &mut rows,
-        );
-    }
-    {
-        // Räcke minus the multiplicative-weights loop: a uniform mixture
-        // of seed-derived FRT trees, built in parallel.
-        let ens = RaeckeRouting::frt_ensemble(&g, 12, 7);
-        let r = mean_ratio(&ens, &g, &demands, alpha, &opts, 8);
-        push("FRT ensemble (12 trees, no MWU)", r, &mut table, &mut rows);
-    }
-    {
-        let el = ElectricalRouting::new(&g);
-        let r = mean_ratio(&el, &g, &demands, alpha, &opts, 9);
-        push("electrical flow", r, &mut table, &mut rows);
-    }
-    {
-        let ecmp = EcmpRouting::new(&g);
-        let r = mean_ratio(&ecmp, &g, &demands, alpha, &opts, 10);
-        push("ECMP (uniform shortest)", r, &mut table, &mut rows);
-    }
-    {
-        let sp = ShortestPathRouting::new(&g);
-        let r = mean_ratio(&sp, &g, &demands, alpha, &opts, 11);
-        push("single shortest path", r, &mut table, &mut rows);
+    for (topo_name, g) in &topologies {
+        let mut rng = StdRng::seed_from_u64(4);
+        let demands: Vec<Demand> = (0..3)
+            .map(|_| Demand::random_permutation(g.n(), &mut rng))
+            .collect();
+        for (i, (scheme, routing, build_ms)) in build_schemes(g).into_iter().enumerate() {
+            let r = mean_ratio(routing.as_ref(), g, &demands, alpha, &opts, 20 + i as u64);
+            table.row(&[
+                topo_name.to_string(),
+                scheme.to_string(),
+                fx(r),
+                format!("{build_ms:.2}"),
+            ]);
+            rows.push(Row {
+                topology: topo_name.to_string(),
+                base_routing: scheme.to_string(),
+                mean_ratio: r,
+                build_wall_ms: build_ms,
+            });
+        }
     }
 
     table.print();
-    println!("\nshape check: MWU reweighting improves over plain FRT ensembles and more trees");
-    println!("             help; every diverse randomized support beats the deterministic");
-    println!("             single path. (On small expanders electrical flows are also strong;");
-    println!("             the tree-based guarantee is about *worst-case* graphs.)");
+    println!("\nshape check: every diverse randomized support beats the deterministic single");
+    println!("             path; trees pay their build cost for worst-case guarantees, while");
+    println!("             electrical flows are strong on expanders and random walks are the");
+    println!("             cheap build that degrades on low-conductance topologies.");
     if let Some(p) = ssor_bench::save_json("a1_oblivious_ablation", &rows) {
         println!("\nresults -> {}", p.display());
     }

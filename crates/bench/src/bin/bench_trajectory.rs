@@ -30,7 +30,10 @@ use ssor_flow::solver::{
 use ssor_flow::{Demand, SolveOptions};
 use ssor_graph::generators;
 use ssor_oblivious::frt::{FrtTree, Metric};
-use ssor_oblivious::{ObliviousRouting, RaeckeOptions, RaeckeRouting, ValiantRouting};
+use ssor_oblivious::{
+    ElectricalRouting, ObliviousRouting, RaeckeOptions, RaeckeRouting, RandomWalkRouting,
+    ValiantRouting,
+};
 use ssor_serve::{
     answer_batch_on, churned_source, ChurnModel, EpochCell, QueryPlane, Rebuilder, Request,
 };
@@ -198,10 +201,23 @@ fn solver_group(smoke: bool) -> Vec<Bench<'static>> {
 
 fn templates_group(smoke: bool) -> Vec<Bench<'static>> {
     let (r_rows, f_rows, iters) = if smoke { (3, 4, 4) } else { (5, 8, 8) };
+    // The scale row the electrical rewrite exists for: a >=10k-node
+    // Waxman WAN, per-source PCG solves batched over a pinned source
+    // subset (a full n-source precompute would also hold an n x n
+    // potentials cache — the per-source cost is the tracked number).
+    let (wax_n, wax_a, wax_b, wax_sources) = if smoke {
+        (200usize, 0.3, 0.15, 4usize)
+    } else {
+        (10_000, 0.1, 0.04, 16)
+    };
     let small = generators::grid(r_rows, r_rows);
     let big = generators::grid(f_rows, f_rows);
     let metric = Metric::hops(&big);
     let n = big.n();
+    let grid_el = big.clone();
+    let grid_rw = big.clone();
+    let (wan, _, _) = generators::waxman_connected(wax_n, wax_a, wax_b, 1, 4);
+    let sources: Vec<u32> = (0..wax_sources as u32).collect();
     vec![
         (
             format!("raecke_build_grid{r_rows}x{r_rows}_{iters}trees"),
@@ -220,6 +236,29 @@ fn templates_group(smoke: bool) -> Vec<Bench<'static>> {
             format!("frt_sample_grid{f_rows}x{f_rows}"),
             Box::new(move || {
                 FrtTree::sample_seeded(&metric, n, 1);
+            }),
+        ),
+        (
+            format!("electrical_build_grid{f_rows}x{f_rows}_allsrc"),
+            Box::new(move || {
+                ElectricalRouting::new(&grid_el).precomputed();
+            }),
+        ),
+        (
+            format!("electrical_build_waxman{wax_n}_{wax_sources}src"),
+            Box::new(move || {
+                ElectricalRouting::new(&wan).precompute_sources(&sources);
+            }),
+        ),
+        (
+            format!("random_walk_build_grid{f_rows}x{f_rows}_32walks"),
+            Box::new(move || {
+                let rw = RandomWalkRouting::new(&grid_rw, 32, 4 * grid_rw.n(), 11);
+                for s in 0..8u32 {
+                    for t in 8..16u32 {
+                        rw.path_distribution(s, t);
+                    }
+                }
             }),
         ),
     ]

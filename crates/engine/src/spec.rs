@@ -9,12 +9,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssor_flow::Demand;
-use ssor_graph::{generators, Graph, VertexId};
+use ssor_graph::{generators, Graph, Preconditioner, VertexId};
 use ssor_lowerbound::adversary::find_adversarial_demand;
 use ssor_lowerbound::graphs::{c_graph, CGraphMeta};
 use ssor_oblivious::{
-    BitFixingRouting, EcmpRouting, ElectricalRouting, KspRouting, ObliviousRouting, RaeckeOptions,
-    RaeckeRouting, ShortestPathRouting, ValiantRouting,
+    BitFixingRouting, EcmpRouting, ElectricalOptions, ElectricalRouting, KspRouting,
+    ObliviousRouting, RaeckeOptions, RaeckeRouting, RandomWalkRouting, ShortestPathRouting,
+    ValiantRouting, VlbRouting,
 };
 use ssor_te::GravityModel;
 use std::sync::Arc;
@@ -322,8 +323,26 @@ pub enum TemplateSpec {
     ShortestPath,
     /// Equal-cost multi-path over shortest-path DAGs.
     Ecmp,
-    /// Electrical-flow (effective-resistance) routing.
-    Electrical,
+    /// Electrical-flow (effective-resistance) routing: all per-source
+    /// potentials precomputed at build time via preconditioned CG
+    /// (`O(n)` Laplacian solves, rayon-batched, bit-stable).
+    Electrical {
+        /// CG convergence threshold (relative residual).
+        tolerance: Param,
+        /// Preconditioner the solves run under.
+        preconditioner: Preconditioner,
+    },
+    /// Oblivious routing via truncated uniform random walks
+    /// (Schapira–Shahaf), the cheap sampling baseline.
+    RandomWalk {
+        /// Walks per pair.
+        walks: usize,
+        /// Walk length cap before the BFS fallback takes the mass.
+        max_len: usize,
+    },
+    /// Generic-graph Valiant load balancing: shortest paths through a
+    /// uniformly random intermediate vertex.
+    Vlb,
 }
 
 impl TemplateSpec {
@@ -340,6 +359,25 @@ impl TemplateSpec {
         TemplateSpec::Raecke {
             iterations: d.iterations,
             epsilon: d.epsilon.into(),
+        }
+    }
+
+    /// Electrical routing with its default solver options.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssor_engine::TemplateSpec;
+    /// assert!(matches!(
+    ///     TemplateSpec::electrical(),
+    ///     TemplateSpec::Electrical { .. }
+    /// ));
+    /// ```
+    pub fn electrical() -> TemplateSpec {
+        let d = ElectricalOptions::default();
+        TemplateSpec::Electrical {
+            tolerance: d.tolerance.into(),
+            preconditioner: d.preconditioner,
         }
     }
 
@@ -391,7 +429,25 @@ impl TemplateSpec {
             TemplateSpec::Ksp { k } => Arc::new(KspRouting::new(g, k)),
             TemplateSpec::ShortestPath => Arc::new(ShortestPathRouting::new(g)),
             TemplateSpec::Ecmp => Arc::new(EcmpRouting::new(g)),
-            TemplateSpec::Electrical => Arc::new(ElectricalRouting::new(g)),
+            TemplateSpec::Electrical {
+                tolerance,
+                preconditioner,
+            } => {
+                let opts = ElectricalOptions {
+                    tolerance: tolerance.value(),
+                    preconditioner,
+                };
+                // Eager all-source precompute: the engine treats
+                // templates as all-pairs objects, and the batched build
+                // surfaces TemplateStageStats like the tree templates.
+                Arc::new(ElectricalRouting::with_options(g, opts).precomputed())
+            }
+            TemplateSpec::RandomWalk { walks, max_len } => {
+                // `RandomWalkRouting` derives its per-pair streams from
+                // `seed` through `derive_seed` under a scheme tag.
+                Arc::new(RandomWalkRouting::new(g, walks, max_len, seed))
+            }
+            TemplateSpec::Vlb => Arc::new(VlbRouting::new(g)),
         }
     }
 }
@@ -1031,7 +1087,12 @@ mod tests {
             TemplateSpec::Ksp { k: 3 },
             TemplateSpec::ShortestPath,
             TemplateSpec::Ecmp,
-            TemplateSpec::Electrical,
+            TemplateSpec::electrical(),
+            TemplateSpec::RandomWalk {
+                walks: 8,
+                max_len: 64,
+            },
+            TemplateSpec::Vlb,
         ] {
             let t = spec.build(&topo, &g, 3);
             assert_eq!(t.graph().n(), 9, "{spec:?}");
@@ -1093,5 +1154,86 @@ mod tests {
         set.insert(Param::from(0.5));
         assert!(set.contains(&Param::from(0.5)));
         assert!(!set.contains(&Param::from(0.25)));
+    }
+
+    fn spec_hash(spec: &TemplateSpec) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        spec.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn electrical_and_random_walk_spec_hashes_are_stable() {
+        // Specs key the engine's caches: equal specs must hash equal,
+        // and every knob must reach the hash (a knob outside the hash
+        // silently aliases cache entries).
+        assert_eq!(
+            spec_hash(&TemplateSpec::electrical()),
+            spec_hash(&TemplateSpec::electrical())
+        );
+        assert_eq!(TemplateSpec::electrical(), TemplateSpec::electrical());
+        let jacobi = TemplateSpec::Electrical {
+            tolerance: 1e-10.into(),
+            preconditioner: Preconditioner::Jacobi,
+        };
+        let none = TemplateSpec::Electrical {
+            tolerance: 1e-10.into(),
+            preconditioner: Preconditioner::None,
+        };
+        let loose = TemplateSpec::Electrical {
+            tolerance: 1e-6.into(),
+            preconditioner: Preconditioner::Jacobi,
+        };
+        assert_ne!(jacobi, none);
+        assert_ne!(spec_hash(&jacobi), spec_hash(&none));
+        assert_ne!(jacobi, loose);
+        assert_ne!(spec_hash(&jacobi), spec_hash(&loose));
+
+        let rw = TemplateSpec::RandomWalk {
+            walks: 16,
+            max_len: 64,
+        };
+        assert_eq!(spec_hash(&rw), spec_hash(&rw.clone()));
+        let more_walks = TemplateSpec::RandomWalk {
+            walks: 32,
+            max_len: 64,
+        };
+        let longer = TemplateSpec::RandomWalk {
+            walks: 16,
+            max_len: 128,
+        };
+        assert_ne!(spec_hash(&rw), spec_hash(&more_walks));
+        assert_ne!(spec_hash(&rw), spec_hash(&longer));
+    }
+
+    #[test]
+    fn random_walk_spec_is_deterministic_per_seed() {
+        let topo = TopologySpec::Grid { rows: 3, cols: 3 };
+        let g = topo.build_graph();
+        let spec = TemplateSpec::RandomWalk {
+            walks: 16,
+            max_len: 64,
+        };
+        let a = spec.build(&topo, &g, 9);
+        let b = spec.build(&topo, &g, 9);
+        let c = spec.build(&topo, &g, 10);
+        assert_eq!(a.path_distribution(0, 8), b.path_distribution(0, 8));
+        assert!(
+            [(0u32, 8u32), (2, 6), (1, 7)]
+                .iter()
+                .any(|&(s, t)| a.path_distribution(s, t) != c.path_distribution(s, t)),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn electrical_spec_build_precomputes_and_reports_stats() {
+        let topo = TopologySpec::Grid { rows: 3, cols: 3 };
+        let g = topo.build_graph();
+        let t = TemplateSpec::electrical().build(&topo, &g, 0);
+        let stats = t.build_stats().expect("electrical build records stats");
+        assert_eq!(stats.tree_wall.as_nanos(), 0);
+        assert_eq!(stats.metric_wall, stats.total_wall);
     }
 }

@@ -22,6 +22,9 @@
 //!   the [`shortest_path`] tree builders via the [`Adjacency`] trait;
 //! * [`SubTopology`] — failure-masked view over a CSR: `O(1)` edge/vertex
 //!   knockouts with stable edge ids and no graph rebuild;
+//! * [`CsrLaplacian`] — the weighted graph Laplacian flattened for
+//!   repeated applies, with a preconditioned, bit-stable CG solver and
+//!   multi-RHS batching (the electrical-flow template's linear algebra);
 //! * [`generators`] — hypercubes, grids, tori, expanders, Waxman WANs, the
 //!   two-cliques bridge example, and friends;
 //! * [`shortest_path`] — BFS and Dijkstra trees;
@@ -49,6 +52,7 @@ pub mod dsu;
 pub mod generators;
 mod graph;
 pub mod ksp;
+mod laplacian;
 mod load;
 pub mod matching;
 pub mod maxflow;
@@ -61,6 +65,7 @@ mod subtopology;
 
 pub use csr::{Adjacency, Csr, EdgeView, FullTopology};
 pub use graph::{Arc, EdgeId, Graph, VertexId};
+pub use laplacian::{CsrLaplacian, LaplacianSolve, Preconditioner};
 pub use load::EdgeLoads;
 pub use par::{derive_seed, par_ordered_map};
 pub use path::Path;

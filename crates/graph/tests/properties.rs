@@ -6,7 +6,7 @@ use ssor_graph::shortest_path::{
     bfs_path, bfs_tree, bfs_trees_csr_batch, dijkstra_path, dijkstra_tree_csr,
     dijkstra_trees_csr_batch, hop_distance,
 };
-use ssor_graph::{generators, EdgeLoads, Graph, Path, PathStore, VertexId};
+use ssor_graph::{generators, CsrLaplacian, EdgeLoads, Graph, Path, PathStore, VertexId};
 
 /// Strategy: a connected random graph with `n` in 2..=12 via an
 /// Erdős–Rényi draw stitched to connectivity (deterministic from the seed).
@@ -254,6 +254,41 @@ proptest! {
                 let same = pa.source() == pb.source() && pa.edges() == pb.edges();
                 prop_assert_eq!(same, ia == ib);
             }
+        }
+    }
+
+    #[test]
+    fn csr_laplacian_apply_matches_edge_walk_bitwise(
+        g in connected_multigraph(),
+        seed in any::<u64>(),
+    ) {
+        // The CSR-flattened apply replaced the per-iteration
+        // `Graph::edges` walk inside CG; the swap is legal only because
+        // the two accumulate identical addends in identical per-vertex
+        // order. Pin that *bitwise* on random weighted multigraphs
+        // (parallel edges included) — any reassociation would silently
+        // change solver trajectories and break template fingerprints.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..g.m()).map(|_| 0.1 + rng.gen::<f64>() * 9.9).collect();
+        let x: Vec<f64> = (0..g.n()).map(|_| rng.gen::<f64>() * 20.0 - 10.0).collect();
+        let lap = CsrLaplacian::new(&g, &w);
+        let mut y_csr = vec![0.0; g.n()];
+        lap.apply(&x, &mut y_csr);
+        // The reference: the textbook edge walk in edge-id order.
+        let mut y_ref = vec![0.0; g.n()];
+        for (e, (u, v)) in g.edges() {
+            let c = w[e as usize];
+            let d = x[u as usize] - x[v as usize];
+            y_ref[u as usize] += c * d;
+            y_ref[v as usize] -= c * d;
+        }
+        for v in 0..g.n() {
+            prop_assert_eq!(
+                y_csr[v].to_bits(), y_ref[v].to_bits(),
+                "vertex {}: csr {} != reference {}", v, y_csr[v], y_ref[v]
+            );
         }
     }
 

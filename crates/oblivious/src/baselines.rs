@@ -1,8 +1,9 @@
-//! Baseline routings: deterministic shortest path, ECMP, and k-shortest
-//! paths — the comparators used by the traffic-engineering literature
-//! (SMORE `[KYY+18]`) and by experiments E4/E7.
+//! Baseline routings: deterministic shortest path, ECMP, k-shortest
+//! paths, and generic-graph Valiant load balancing — the comparators
+//! used by the traffic-engineering literature (SMORE `[KYY+18]`) and by
+//! experiments E4/E7.
 
-use crate::traits::ObliviousRouting;
+use crate::traits::{DistributionBuilder, ObliviousRouting};
 use rand::{Rng, RngCore};
 use ssor_graph::ksp::k_shortest_paths;
 use ssor_graph::shortest_path::{bfs_trees_csr_batch, SpTree};
@@ -297,6 +298,83 @@ impl ObliviousRouting for EcmpRouting {
     }
 }
 
+/// Generic-graph Valiant load balancing: route `s -> t` through a
+/// uniformly random intermediate vertex `w` along shortest paths
+/// (`s -> w -> t`, shortcut to a simple path).
+///
+/// The hypercube-native `ValiantRouting` exploits bit-fixing structure;
+/// this is the topology-agnostic version the template bake-off runs on
+/// WANs and Clos fabrics. Worst-case it doubles dilation in exchange
+/// for spreading load over `n` intermediate hubs.
+#[derive(Debug)]
+pub struct VlbRouting {
+    graph: Graph,
+    trees: Vec<SpTree>,
+}
+
+impl VlbRouting {
+    /// Precomputes one BFS tree per vertex (rayon-parallel across
+    /// sources, bit-identical at any thread count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn new(g: &Graph) -> Self {
+        assert!(g.is_connected());
+        VlbRouting {
+            graph: g.clone(),
+            trees: all_source_bfs_trees(g),
+        }
+    }
+
+    /// The `s -> t` path through intermediate `w` (shortcut to simple).
+    fn via(&self, s: VertexId, w: VertexId, t: VertexId) -> Path {
+        if w == s || w == t {
+            return self.trees[s as usize]
+                .path_to(&self.graph, t)
+                .expect("connected");
+        }
+        let first = self.trees[s as usize]
+            .path_to(&self.graph, w)
+            .expect("connected");
+        let second = self.trees[w as usize]
+            .path_to(&self.graph, t)
+            .expect("connected");
+        first.concat(&second).shortcut()
+    }
+}
+
+impl ObliviousRouting for VlbRouting {
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn sample_path(&self, s: VertexId, t: VertexId, rng: &mut dyn RngCore) -> Path {
+        assert_ne!(s, t);
+        // Uniform intermediate: exactly the distribution
+        // `path_distribution` enumerates, sampled in O(1) draws.
+        let w = rng.gen_range(0..self.graph.n()) as VertexId;
+        self.via(s, w, t)
+    }
+
+    fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
+        assert_ne!(s, t);
+        let n = self.graph.n();
+        let w = 1.0 / n as f64;
+        let mut builder = DistributionBuilder::new();
+        for mid in 0..n as VertexId {
+            builder.add(&self.via(s, mid, t), w);
+        }
+        let mut parts = builder.finish();
+        // Renormalize the fp residue of summing n copies of 1/n.
+        let total: f64 = parts.iter().map(|(_, w)| w).sum();
+        for (_, w) in parts.iter_mut() {
+            *w /= total;
+        }
+        parts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,7 +392,8 @@ mod tests {
             let p = r.path_distribution(s, t)[0].0.clone();
             assert_eq!(p.hop(), ssor_graph::shortest_path::hop_distance(&g, s, t));
         }
-        validate_oblivious_routing(&r, &[(0, 11), (3, 8)]).unwrap();
+        validate_oblivious_routing(&r, &[(0, 11), (3, 8)])
+            .expect("shortest-path routing must validate");
     }
 
     #[test]
@@ -323,7 +402,7 @@ mod tests {
         let r = KspRouting::new(&g, 3);
         let dist = r.path_distribution(0, 4);
         assert_eq!(dist.len(), 3);
-        validate_oblivious_routing(&r, &[(0, 4), (1, 8)]).unwrap();
+        validate_oblivious_routing(&r, &[(0, 4), (1, 8)]).expect("ksp routing must validate");
     }
 
     #[test]
@@ -384,5 +463,41 @@ mod tests {
         let sp = ShortestPathRouting::new(&g);
         let d = Demand::hypercube_complement(4);
         assert!(ecmp.congestion(&d) <= sp.congestion(&d) + 1e-9);
+    }
+
+    #[test]
+    fn vlb_validates_and_spreads_over_intermediates() {
+        let g = generators::grid(3, 3);
+        let r = VlbRouting::new(&g);
+        validate_oblivious_routing(&r, &[(0, 8), (2, 6), (1, 5)])
+            .expect("vlb routing must validate");
+        // More than one distinct path: intermediates off the shortest
+        // path produce genuinely different routes.
+        assert!(r.path_distribution(0, 8).len() > 1);
+    }
+
+    #[test]
+    fn vlb_samples_match_the_enumerated_support() {
+        let g = generators::torus(3, 3);
+        let r = VlbRouting::new(&g);
+        let dist = r.path_distribution(0, 4);
+        let support: Vec<_> = dist.iter().map(|(p, _)| p.edges().to_vec()).collect();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let p = r.sample_path(0, 4, &mut rng);
+            assert!(support.contains(&p.edges().to_vec()));
+        }
+    }
+
+    #[test]
+    fn vlb_dilation_at_most_twice_shortest() {
+        let g = generators::hypercube(3);
+        let r = VlbRouting::new(&g);
+        for (s, t) in [(0u32, 7u32), (1, 6), (2, 5)] {
+            let d = ssor_graph::shortest_path::hop_distance(&g, s, t);
+            for (p, _) in r.path_distribution(s, t) {
+                assert!(p.hop() <= 2 * d, "detour {} vs shortest {d}", p.hop());
+            }
+        }
     }
 }

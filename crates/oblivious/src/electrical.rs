@@ -1,5 +1,5 @@
-//! Electrical-flow oblivious routing, with a conjugate-gradient Laplacian
-//! solver as the substrate.
+//! Electrical-flow oblivious routing over per-source Laplacian
+//! potentials.
 //!
 //! Routing `s -> t` along the unit electrical current (potentials solving
 //! `L φ = e_s - e_t`) is a classic *demand-independent* fractional routing:
@@ -8,14 +8,39 @@
 //! sense. Its worst-case competitiveness is polynomial, not polylog
 //! (it is the baseline the tree-based schemes beat), which makes it a
 //! useful comparison point for the A1 ablation.
+//!
+//! # Scaling structure
+//!
+//! The naive formulation pays one Laplacian solve per `(s, t)` pair —
+//! `O(n²)` solves for an all-pairs template. This module instead solves
+//! **per-source** systems `L ψ_s = e_s − (1/n)𝟙` (one per source, each a
+//! legal kernel-orthogonal right-hand side) and derives every pair's
+//! potentials by superposition: `L (ψ_s − ψ_t) = e_s − e_t`, so the
+//! `s → t` current falls out of the difference `ψ_s − ψ_t` with no
+//! further solve. An all-pairs template costs `n` solves, each running
+//! on [`ssor_graph::CsrLaplacian`]'s preconditioned CG (Jacobi by
+//! default) instead of the old unpreconditioned `Graph::edges`-walking
+//! loop, and independent sources fan out over rayon via
+//! `CsrLaplacian::solve_batch` — input-order collected, so builds are
+//! bit-identical at any thread count (the PR 5 discipline).
+//!
+//! The original per-pair entry points ([`solve_laplacian`],
+//! [`electrical_flow`], [`effective_resistance`]) remain as the
+//! slow-but-simple reference implementation the per-source path is
+//! tested against.
 
-use crate::traits::ObliviousRouting;
+use crate::traits::{ObliviousRouting, TemplateStageStats};
 use rand::{Rng, RngCore};
 use ssor_flow::decompose::{decompose, EdgeFlow};
-use ssor_graph::{Graph, Path, VertexId};
+use ssor_graph::{CsrLaplacian, Graph, Path, Preconditioner, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Sparse symmetric Laplacian application: `y = L x` for the weighted
-/// graph Laplacian with conductance `w_e` per edge.
+/// graph Laplacian with conductance `w_e` per edge. The textbook
+/// edge-walk reference; the hot path uses [`CsrLaplacian::apply`],
+/// which is bitwise identical (pinned by proptest in `ssor-graph`).
 fn apply_laplacian(g: &Graph, w: &[f64], x: &[f64], y: &mut [f64]) {
     y.iter_mut().for_each(|v| *v = 0.0);
     for (e, (u, v)) in g.edges() {
@@ -30,17 +55,24 @@ fn apply_laplacian(g: &Graph, w: &[f64], x: &[f64], y: &mut [f64]) {
 /// pseudo-inverse, keeping iterates orthogonal to the all-ones kernel.
 /// Returns the potentials (mean-centered).
 ///
+/// This is the unpreconditioned per-pair *reference* solver; template
+/// construction goes through [`CsrLaplacian::solve`] instead.
+///
 /// # Panics
 ///
-/// Panics if `b` does not sum to (nearly) zero or dimensions mismatch.
+/// Panics on dimension mismatch, or if `b` is not orthogonal to the
+/// kernel *relative to its own scale* (`|Σb| > 1e-6 · ‖b‖₁`). The check
+/// must be relative: an absolute threshold rejects legitimately scaled
+/// demand vectors while passing tiny vectors with 100% drift.
 pub fn solve_laplacian(g: &Graph, w: &[f64], b: &[f64], tol: f64, max_iters: usize) -> Vec<f64> {
     let n = g.n();
     assert_eq!(b.len(), n);
     assert_eq!(w.len(), g.m());
     let bsum: f64 = b.iter().sum();
+    let bl1: f64 = b.iter().map(|v| v.abs()).sum();
     assert!(
-        bsum.abs() < 1e-6,
-        "b must be orthogonal to the kernel (sum {bsum})"
+        bsum.abs() <= 1e-6 * bl1.max(f64::MIN_POSITIVE),
+        "b must be orthogonal to the kernel relative to its scale (sum {bsum}, l1 {bl1})"
     );
 
     let center = |x: &mut Vec<f64>| {
@@ -54,7 +86,7 @@ pub fn solve_laplacian(g: &Graph, w: &[f64], b: &[f64], tol: f64, max_iters: usi
     let mut p = r.clone();
     let mut ap = vec![0.0; n];
     let mut rs: f64 = r.iter().map(|v| v * v).sum();
-    let b_norm = rs.sqrt().max(1e-30);
+    let b_norm = rs.sqrt().max(f64::MIN_POSITIVE);
 
     for _ in 0..max_iters {
         if rs.sqrt() <= tol * b_norm {
@@ -83,6 +115,10 @@ pub fn solve_laplacian(g: &Graph, w: &[f64], b: &[f64], tol: f64, max_iters: usi
 
 /// The unit `s -> t` electrical flow (currents per edge, oriented along
 /// the stored edge direction), for unit conductances scaled by `w`.
+///
+/// Per-pair reference path: one fresh solve per call. Template
+/// construction derives pair flows from cached per-source potentials
+/// instead (see [`ElectricalRouting`]).
 pub fn electrical_flow(g: &Graph, w: &[f64], s: VertexId, t: VertexId) -> EdgeFlow {
     let n = g.n();
     let mut b = vec![0.0; n];
@@ -94,7 +130,10 @@ pub fn electrical_flow(g: &Graph, w: &[f64], s: VertexId, t: VertexId) -> EdgeFl
         .collect()
 }
 
-/// Effective resistance between `s` and `t` under conductances `w`.
+/// Effective resistance between `s` and `t` under conductances `w`
+/// (per-pair reference path; see
+/// [`ElectricalRouting::effective_resistance_between`] for the
+/// per-source-potentials version).
 pub fn effective_resistance(g: &Graph, w: &[f64], s: VertexId, t: VertexId) -> f64 {
     let n = g.n();
     let mut b = vec![0.0; n];
@@ -130,7 +169,37 @@ impl std::fmt::Display for ElectricalError {
 
 impl std::error::Error for ElectricalError {}
 
-/// Oblivious routing along unit electrical flows (unit conductances).
+/// Solver knobs for [`ElectricalRouting`] — carried by
+/// `TemplateSpec::Electrical` in the engine, so both fields must stay a
+/// pure function of the spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalOptions {
+    /// CG convergence threshold: stop when `‖r‖₂ ≤ tolerance · ‖b‖₂`.
+    pub tolerance: f64,
+    /// Which preconditioner the solves run under.
+    pub preconditioner: Preconditioner,
+}
+
+impl Default for ElectricalOptions {
+    /// `tolerance = 1e-10`, Jacobi preconditioning — the settings every
+    /// pre-existing electrical test was calibrated against.
+    fn default() -> Self {
+        ElectricalOptions {
+            tolerance: 1e-10,
+            preconditioner: Preconditioner::Jacobi,
+        }
+    }
+}
+
+/// Oblivious routing along unit electrical flows (unit conductances by
+/// default).
+///
+/// Pair flows come from cached per-source potentials `ψ_s` (see the
+/// module docs): the first query touching source `s` solves
+/// `L ψ_s = e_s − (1/n)𝟙` once, and every later pair involving `s`
+/// reuses it. [`ElectricalRouting::precomputed`] batch-solves all
+/// sources up front (rayon fan-out, input-order collected) — the
+/// all-pairs template build, `O(n)` solves total.
 ///
 /// # Examples
 ///
@@ -148,6 +217,16 @@ impl std::error::Error for ElectricalError {}
 pub struct ElectricalRouting {
     graph: Graph,
     conductance: Vec<f64>,
+    lap: CsrLaplacian,
+    opts: ElectricalOptions,
+    /// Per-source potentials, filled lazily or by
+    /// [`Self::precomputed`]. Vertex-indexed (no hash container), so
+    /// cache hits are an array load.
+    potentials: Mutex<Vec<Option<Arc<Vec<f64>>>>>,
+    /// Laplacian solves performed so far — the observable the O(n)
+    /// scaling test asserts on.
+    solves: AtomicUsize,
+    stats: Option<TemplateStageStats>,
 }
 
 impl ElectricalRouting {
@@ -182,14 +261,39 @@ impl ElectricalRouting {
         g: &Graph,
         conductance: Vec<f64>,
     ) -> Result<Self, ElectricalError> {
+        Self::try_with_options(g, conductance, ElectricalOptions::default())
+    }
+
+    /// Custom conductances and solver options, or
+    /// [`ElectricalError::Disconnected`] when no electrical flow exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, any conductance is nonpositive, or
+    /// `tolerance` is not finite and positive.
+    pub fn try_with_options(
+        g: &Graph,
+        conductance: Vec<f64>,
+        opts: ElectricalOptions,
+    ) -> Result<Self, ElectricalError> {
         assert_eq!(conductance.len(), g.m());
         assert!(conductance.iter().all(|&c| c > 0.0));
+        assert!(
+            opts.tolerance > 0.0 && opts.tolerance.is_finite(),
+            "tolerance must be finite and positive"
+        );
         if !g.is_connected() {
             return Err(ElectricalError::Disconnected);
         }
+        let lap = CsrLaplacian::new(g, &conductance);
         Ok(ElectricalRouting {
             graph: g.clone(),
             conductance,
+            lap,
+            opts,
+            potentials: Mutex::new(vec![None; g.n()]),
+            solves: AtomicUsize::new(0),
+            stats: None,
         })
     }
 
@@ -215,6 +319,126 @@ impl ElectricalRouting {
         Self::try_with_conductances(g, conductance)
             .expect("electrical routing needs a connected graph")
     }
+
+    /// Unit conductances with custom solver options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected or the options are invalid.
+    pub fn with_options(g: &Graph, opts: ElectricalOptions) -> Self {
+        Self::try_with_options(g, vec![1.0; g.m()], opts)
+            .expect("electrical routing needs a connected graph")
+    }
+
+    /// The solver options this routing was built with.
+    pub fn options(&self) -> ElectricalOptions {
+        self.opts
+    }
+
+    /// Laplacian solves performed so far (lazy and precomputed alike) —
+    /// `n` solves cover an all-pairs template.
+    pub fn laplacian_solves(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Batch-solves `ψ_s` for every vertex up front, fanning sources
+    /// over rayon workers (input-order collected, so the cache is
+    /// bit-identical at any thread count), and records the build wall
+    /// into [`ObliviousRouting::build_stats`]. The all-pairs template
+    /// build: `O(n)` solves, after which every pair query is solve-free.
+    pub fn precomputed(self) -> Self {
+        let sources: Vec<VertexId> = (0..self.graph.n() as VertexId).collect();
+        self.precompute_sources(&sources)
+    }
+
+    /// Batch-solves `ψ_s` for the given sources only — the shape the
+    /// standing bench uses to time per-source solves on graphs too large
+    /// for an `n × n` potentials cache.
+    pub fn precompute_sources(mut self, sources: &[VertexId]) -> Self {
+        let n = self.graph.n();
+        let t0 = std::time::Instant::now(); // lint: allow(wall_clock) — feeds TemplateStageStats only
+        let rhs: Vec<Vec<f64>> = sources.iter().map(|&s| source_rhs(n, s)).collect();
+        let solved = self.lap.solve_batch(
+            &rhs,
+            self.opts.preconditioner,
+            self.opts.tolerance,
+            4 * n + 200,
+        );
+        let wall = t0.elapsed();
+        self.solves.fetch_add(sources.len(), Ordering::Relaxed);
+        {
+            let mut cache = self.potentials.lock().expect("potentials cache lock");
+            for (&s, sol) in sources.iter().zip(solved) {
+                cache[s as usize] = Some(Arc::new(sol.potentials));
+            }
+        }
+        let prev = self.stats.unwrap_or_default();
+        self.stats = Some(TemplateStageStats {
+            metric_wall: prev.metric_wall + wall,
+            tree_wall: Duration::ZERO,
+            load_wall: Duration::ZERO,
+            total_wall: prev.total_wall + wall,
+            tree_stage_parallel: false,
+        });
+        self
+    }
+
+    /// `ψ_s`, from the cache or via one solve. Solving happens outside
+    /// the lock; a racing double-compute wastes work but yields the same
+    /// bits, so first-write-wins keeps the cache deterministic.
+    pub fn potential(&self, s: VertexId) -> Arc<Vec<f64>> {
+        if let Some(p) = self.potentials.lock().expect("potentials cache lock")[s as usize].clone()
+        {
+            return p;
+        }
+        let n = self.graph.n();
+        let b = source_rhs(n, s);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let sol = self.lap.solve(
+            &b,
+            self.opts.preconditioner,
+            self.opts.tolerance,
+            4 * n + 200,
+        );
+        let psi = Arc::new(sol.potentials);
+        let mut cache = self.potentials.lock().expect("potentials cache lock");
+        let slot = &mut cache[s as usize];
+        if slot.is_none() {
+            *slot = Some(psi);
+        }
+        slot.clone().expect("slot was just filled")
+    }
+
+    /// The unit `s -> t` current per edge, from potential superposition:
+    /// `L (ψ_s − ψ_t) = e_s − e_t`.
+    fn pair_flow(&self, s: VertexId, t: VertexId) -> EdgeFlow {
+        let ps = self.potential(s);
+        let pt = self.potential(t);
+        self.graph
+            .edges()
+            .map(|(e, (u, v))| {
+                let du = ps[u as usize] - pt[u as usize];
+                let dv = ps[v as usize] - pt[v as usize];
+                self.conductance[e as usize] * (du - dv)
+            })
+            .collect()
+    }
+
+    /// Effective resistance between `s` and `t` via per-source
+    /// potentials: `(ψ_s − ψ_t)[s] − (ψ_s − ψ_t)[t]`.
+    pub fn effective_resistance_between(&self, s: VertexId, t: VertexId) -> f64 {
+        let ps = self.potential(s);
+        let pt = self.potential(t);
+        (ps[s as usize] - pt[s as usize]) - (ps[t as usize] - pt[t as usize])
+    }
+}
+
+/// The per-source right-hand side `e_s − (1/n)𝟙` (sums to 0 exactly in
+/// exact arithmetic; within the relative kernel check in floats).
+fn source_rhs(n: usize, s: VertexId) -> Vec<f64> {
+    let mut b = vec![-1.0 / n as f64; n];
+    b[s as usize] += 1.0;
+    b
 }
 
 impl ObliviousRouting for ElectricalRouting {
@@ -244,7 +468,7 @@ impl ObliviousRouting for ElectricalRouting {
 
     fn path_distribution(&self, s: VertexId, t: VertexId) -> Vec<(Path, f64)> {
         assert_ne!(s, t);
-        let flow = electrical_flow(&self.graph, &self.conductance, s, t);
+        let flow = self.pair_flow(s, t);
         let mut parts = decompose(&self.graph, flow, s, t, 1e-9);
         // Numerical residue: renormalize to exactly 1.
         let total: f64 = parts.iter().map(|(_, w)| w).sum();
@@ -257,6 +481,10 @@ impl ObliviousRouting for ElectricalRouting {
         // deterministically instead).
         parts.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.edges().cmp(b.0.edges())));
         parts
+    }
+
+    fn build_stats(&self) -> Option<TemplateStageStats> {
+        self.stats
     }
 }
 
@@ -312,6 +540,16 @@ mod tests {
     }
 
     #[test]
+    fn per_source_pair_flow_conserves_too() {
+        let g = generators::grid(4, 4);
+        let r = ElectricalRouting::new(&g);
+        let flow = r.pair_flow(0, 15);
+        assert!(ssor_flow::decompose::is_conserving(
+            &g, &flow, 0, 15, 1.0, 1e-6
+        ));
+    }
+
+    #[test]
     fn validates_as_oblivious_routing() {
         let g = generators::grid(3, 3);
         let r = ElectricalRouting::new(&g);
@@ -354,5 +592,123 @@ mod tests {
         let cong = r.congestion(&d);
         // Sanity window: better than single-path worst case, worse than 0.
         assert!(cong > 0.5 && cong < 16.0, "cong = {cong}");
+    }
+
+    #[test]
+    fn all_pairs_template_costs_n_solves() {
+        // The tentpole observable: querying every ordered pair costs n
+        // Laplacian solves (one per source), not n(n-1).
+        let g = generators::grid(4, 4);
+        let n = g.n();
+        let r = ElectricalRouting::new(&g);
+        for s in 0..n as VertexId {
+            for t in 0..n as VertexId {
+                if s != t {
+                    r.path_distribution(s, t);
+                }
+            }
+        }
+        assert_eq!(r.laplacian_solves(), n, "one solve per source");
+        // And a precomputed build pays exactly the same n, up front.
+        let pre = ElectricalRouting::new(&g).precomputed();
+        assert_eq!(pre.laplacian_solves(), n);
+        pre.path_distribution(0, 15);
+        assert_eq!(
+            pre.laplacian_solves(),
+            n,
+            "queries after precompute are solve-free"
+        );
+        assert!(pre.build_stats().is_some());
+    }
+
+    #[test]
+    fn precomputed_matches_lazy_bitwise() {
+        let (g, _, _) = generators::waxman_connected(30, 0.4, 0.25, 7, 16);
+        let lazy = ElectricalRouting::new(&g);
+        let pre = ElectricalRouting::new(&g).precomputed();
+        for (s, t) in [(0, 29), (3, 17), (12, 5)] {
+            let a = lazy.path_distribution(s, t);
+            let b = pre.path_distribution(s, t);
+            assert_eq!(a.len(), b.len());
+            for ((pa, wa), (pb, wb)) in a.iter().zip(&b) {
+                assert_eq!(pa.edges(), pb.edges());
+                assert_eq!(wa.to_bits(), wb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn per_source_resistance_matches_reference_and_closed_forms() {
+        // Ring closed form: R(0, k) = k(n−k)/n.
+        let n = 8;
+        let g = generators::ring(n);
+        let w = vec![1.0; g.m()];
+        let r = ElectricalRouting::new(&g);
+        for k in 1..n {
+            let expect = (k * (n - k)) as f64 / n as f64;
+            let per_source = r.effective_resistance_between(0, k as VertexId);
+            let per_pair = effective_resistance(&g, &w, 0, k as VertexId);
+            assert!(
+                (per_source - expect).abs() < 1e-8,
+                "ring R(0,{k}): per-source {per_source} vs closed form {expect}"
+            );
+            assert!(
+                (per_source - per_pair).abs() < 1e-8,
+                "ring R(0,{k}): per-source {per_source} vs per-pair {per_pair}"
+            );
+        }
+        // Grid spot checks against the per-pair reference.
+        let g = generators::grid(4, 4);
+        let w = vec![1.0; g.m()];
+        let r = ElectricalRouting::new(&g);
+        for (s, t) in [(0, 15), (1, 14), (5, 10)] {
+            let a = r.effective_resistance_between(s, t);
+            let b = effective_resistance(&g, &w, s, t);
+            assert!((a - b).abs() < 1e-8, "grid R({s},{t}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kernel_check_is_relative_not_absolute() {
+        // Legitimately scaled demand vectors must not panic...
+        let g = generators::ring(6);
+        let w = vec![1.0; g.m()];
+        let mut big = vec![0.0; 6];
+        big[0] = 1e300;
+        big[3] = -1e300;
+        let phi = solve_laplacian(&g, &w, &big, 1e-10, 200);
+        assert!(phi.iter().all(|p| p.is_finite()));
+        // ...and neither must denormal-scale ones.
+        let mut tiny = vec![0.0; 6];
+        tiny[0] = 1e-310;
+        tiny[3] = -1e-310;
+        let phi = solve_laplacian(&g, &w, &tiny, 1e-10, 200);
+        assert_eq!(phi.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "orthogonal to the kernel")]
+    fn kernel_check_rejects_full_relative_drift() {
+        // 100% relative drift at tiny absolute scale: the old absolute
+        // `|Σb| < 1e-6` check accepted this silently.
+        let g = generators::ring(4);
+        let w = vec![1.0; g.m()];
+        solve_laplacian(&g, &w, &[1e-9, 1e-9, 0.0, 0.0], 1e-10, 10);
+    }
+
+    #[test]
+    fn options_are_respected() {
+        let g = generators::grid(3, 3);
+        let loose = ElectricalRouting::with_options(
+            &g,
+            ElectricalOptions {
+                tolerance: 1e-4,
+                preconditioner: Preconditioner::None,
+            },
+        );
+        assert_eq!(loose.options().preconditioner, Preconditioner::None);
+        // Both settings still produce a valid routing.
+        validate_oblivious_routing(&loose, &[(0, 8), (2, 6)])
+            .expect("loose-tolerance electrical routing must validate");
     }
 }

@@ -16,8 +16,13 @@
 //!   `[Räc08]`, the scheme SMORE samples in production;
 //! * [`HopConstrainedRouting`] — the GHZ21 hop-constrained interface
 //!   (simulated; see DESIGN.md substitutions) consumed by Section 7;
-//! * [`ShortestPathRouting`] / [`EcmpRouting`] / [`KspRouting`] —
-//!   traffic-engineering baselines.
+//! * [`ElectricalRouting`] — routing along unit electrical currents from
+//!   per-source preconditioned Laplacian solves (`O(n)` solves for an
+//!   all-pairs template);
+//! * [`RandomWalkRouting`] — oblivious routing via random walks
+//!   `[SS14]` (Schapira–Shahaf), the cheap sampling baseline;
+//! * [`ShortestPathRouting`] / [`EcmpRouting`] / [`KspRouting`] /
+//!   [`VlbRouting`] — traffic-engineering baselines.
 //!
 //! All of them implement [`ObliviousRouting`], whose contract is checked by
 //! [`validate_oblivious_routing`].
@@ -42,14 +47,16 @@ pub mod electrical;
 pub mod frt;
 mod hop;
 mod raecke;
+mod randomwalk;
 mod traits;
 mod valiant;
 
-pub use baselines::{EcmpRouting, KspRouting, ShortestPathRouting};
-pub use electrical::{ElectricalError, ElectricalRouting};
+pub use baselines::{EcmpRouting, KspRouting, ShortestPathRouting, VlbRouting};
+pub use electrical::{ElectricalError, ElectricalOptions, ElectricalRouting};
 pub use frt::{sample_tree_routings_seeded, tree_seed, FrtTree, Metric, TreeRouting};
 pub use hop::{HopConstrainedRouting, HopOptions};
 pub use raecke::{RaeckeOptions, RaeckeRouting};
+pub use randomwalk::RandomWalkRouting;
 pub use traits::{
     validate_oblivious_routing, DistributionBuilder, ObliviousRouting, TemplateStageStats,
 };

@@ -23,7 +23,8 @@ use ssor::flow::{AllPathsOracle, Demand, SolveOptions};
 use ssor::graph::generators;
 use ssor::graph::Graph;
 use ssor::oblivious::{
-    frt::sample_tree_routings_seeded, Metric, ObliviousRouting, RaeckeOptions, RaeckeRouting,
+    frt::sample_tree_routings_seeded, ElectricalRouting, Metric, ObliviousRouting, RaeckeOptions,
+    RaeckeRouting, RandomWalkRouting,
 };
 use std::sync::{Mutex, MutexGuard};
 
@@ -276,6 +277,71 @@ fn template_construction_is_thread_count_invariant() {
             "FRT ensemble paths differ at {threads} threads"
         );
         assert_eq!(base.2, got.2, "Raecke build differs at {threads} threads");
+    }
+}
+
+/// The electrical template's batched per-source PCG solves fan out over
+/// `par_ordered_map`, and the random-walk template derives one RNG
+/// stream per (s, t) pair — both reduced to comparable bits: every
+/// precomputed potential's bit pattern, plus each scheme's path
+/// distributions (weights and edge sequences) over a pinned pair set.
+fn flow_template_fingerprint(threads: usize, g: &Graph) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    assert_eq!(
+        rayon::current_num_threads(),
+        threads,
+        "worker-count override not honored; thread sweep would be vacuous"
+    );
+    let pairs: Vec<(u32, u32)> = vec![(0, g.n() as u32 - 1), (1, g.n() as u32 / 2), (2, 7)];
+
+    let electrical = ElectricalRouting::new(g).precomputed();
+    let mut potential_bits = Vec::new();
+    for s in g.vertices() {
+        potential_bits.extend(electrical.potential(s).iter().map(|p| p.to_bits()));
+    }
+    let mut electrical_bits = Vec::new();
+    for &(s, t) in &pairs {
+        for (p, w) in electrical.path_distribution(s, t) {
+            electrical_bits.push(w.to_bits());
+            electrical_bits.extend(p.edges().iter().map(|&e| e as u64));
+        }
+    }
+
+    let walks = RandomWalkRouting::new(g, 16, 4 * g.n(), 23);
+    let mut walk_bits = Vec::new();
+    for &(s, t) in &pairs {
+        for (p, w) in walks.path_distribution(s, t) {
+            walk_bits.push(w.to_bits());
+            walk_bits.extend(p.edges().iter().map(|&e| e as u64));
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    (potential_bits, electrical_bits, walk_bits)
+}
+
+/// The electrical build (batched Laplacian solves over the ordered
+/// parallel map, serial left-to-right PCG reductions) and the
+/// random-walk build (per-pair derived seed streams over BFS-tree
+/// fallbacks) must be bit-identical at any rayon worker count.
+#[test]
+fn flow_template_construction_is_thread_count_invariant() {
+    let _guard = env_lock();
+    let (g, _, _) = generators::waxman_connected(40, 0.4, 0.25, 9, 16);
+    let base = flow_template_fingerprint(1, &g);
+    for threads in [2usize, 8] {
+        let got = flow_template_fingerprint(threads, &g);
+        assert_eq!(
+            base.0, got.0,
+            "electrical potentials differ at {threads} threads"
+        );
+        assert_eq!(
+            base.1, got.1,
+            "electrical path distributions differ at {threads} threads"
+        );
+        assert_eq!(
+            base.2, got.2,
+            "random-walk distributions differ at {threads} threads"
+        );
     }
 }
 
