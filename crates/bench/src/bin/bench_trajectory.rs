@@ -1,8 +1,8 @@
 //! The standing perf harness: pinned benchmark groups whose wall-time
 //! medians are written to `BENCH_pipeline.json`, `BENCH_solver.json`,
-//! `BENCH_templates.json`, and `BENCH_serve.json` **at the repo root**
-//! each PR, so the perf trajectory between PRs is a recorded number
-//! instead of a guess.
+//! `BENCH_templates.json`, `BENCH_serve.json`, and `BENCH_lint.json`
+//! **at the repo root** each PR, so the perf trajectory between PRs is
+//! a recorded number instead of a guess.
 //!
 //! Contract (see README "Perf trajectory"):
 //!
@@ -37,6 +37,7 @@ use ssor_oblivious::{
 use ssor_serve::{
     answer_batch_on, churned_source, ChurnModel, EpochCell, QueryPlane, Rebuilder, Request,
 };
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -408,6 +409,26 @@ fn run_serve_group(smoke: bool) {
     }
 }
 
+/// The static-analysis group: one full-workspace `ssor-lint --check`
+/// (scan + parse + call graph + contracts + ratchet) run in-process.
+/// The workload is the committed tree itself, so the row tracks how
+/// much wall time the lint gate costs CI as both the checker and the
+/// workspace grow. Smoke and full modes share the workload — the tree
+/// is the spec.
+fn lint_group() -> Vec<Bench<'static>> {
+    let root = ssor_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench binaries run from inside the workspace");
+    let budget = root.join("lint_budget.json");
+    vec![(
+        "workspace_check".to_string(),
+        Box::new(move || {
+            let outcome = ssor_lint::run(&root, &budget, ssor_lint::Mode::Check)
+                .expect("the lint walk reads the committed tree");
+            assert!(outcome.files_scanned > 0, "the walk visited sources");
+        }),
+    )]
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (mode, rounds) = if smoke { ("smoke", 3) } else { ("full", 7) };
@@ -416,5 +437,6 @@ fn main() {
     run_group("solver", mode, rounds, solver_group(smoke));
     run_group("templates", mode, rounds, templates_group(smoke));
     run_serve_group(smoke);
+    run_group("lint", mode, rounds, lint_group());
     println!("\ntrajectory records written; commit the BENCH_*.json from a full release run.");
 }

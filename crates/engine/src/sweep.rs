@@ -285,8 +285,35 @@ fn append_journal(file: &mut File, id: u64, json: &str) {
 }
 
 fn encode_cell<R: Serialize>(id: u64, result: &R) -> String {
+    // An unserializable result (NaN/infinite float) is a bug in the
+    // eval function, not a per-cell condition — the sweep must abort
+    // loudly rather than journal garbage.
     serde_json::to_string(result)
+        // lint: allow(hot_panic) unserializable results must abort the sweep
         .unwrap_or_else(|e| panic!("sweep cell {id} produced an unserializable result: {e}"))
+}
+
+/// Claims the next pending cell off the shared counter and evaluates
+/// it — the sweep inner loop, shared verbatim by the serial and
+/// threaded drivers so there is exactly one body to audit (and one
+/// entry point for the hot-path contract in `lint_contracts.json`).
+/// Returns `None` once the pending list is exhausted.
+fn claim_and_eval<C, R, F>(
+    counter: &AtomicUsize,
+    pending: &[usize],
+    cells: &[SweepCell<C>],
+    master_seed: u64,
+    eval: &F,
+) -> Option<(u64, String, R)>
+where
+    R: Serialize,
+    F: Fn(&SweepCell<C>, u64) -> R,
+{
+    let i = counter.fetch_add(1, Ordering::Relaxed);
+    let cell = cells.get(*pending.get(i)?)?;
+    let result = eval(cell, derive_seed(master_seed, cell.id));
+    let json = encode_cell(cell.id, &result);
+    Some((cell.id, json, result))
 }
 
 /// Runs `eval` over every cell not already journaled, work-stealing
@@ -337,17 +364,17 @@ where
 
     let mut fresh: Vec<(u64, String, R)> = Vec::with_capacity(total);
     if threads <= 1 {
-        for (finished, &i) in pending.iter().enumerate() {
-            let cell = &cells[i];
-            let result = eval(cell, derive_seed(opts.master_seed, cell.id));
-            let json = encode_cell(cell.id, &result);
+        let counter = AtomicUsize::new(0);
+        while let Some((id, json, result)) =
+            claim_and_eval(&counter, &pending, cells, opts.master_seed, &eval)
+        {
             if let Some(f) = journal_file.as_mut() {
-                append_journal(f, cell.id, &json);
+                append_journal(f, id, &json);
             }
+            fresh.push((id, json, result));
             if opts.progress {
-                eprintln!("[sweep] {}/{total} cells (id {})", finished + 1, total);
+                eprintln!("[sweep] {}/{total} cells (id {id})", fresh.len());
             }
-            fresh.push((cell.id, json, result));
         }
     } else {
         let counter = AtomicUsize::new(0);
@@ -358,18 +385,14 @@ where
                     let tx = tx.clone();
                     let (counter, pending, eval) = (&counter, &pending, &eval);
                     let master = opts.master_seed;
-                    scope.spawn(move || loop {
-                        let i = counter.fetch_add(1, Ordering::Relaxed);
-                        if i >= pending.len() {
-                            break;
-                        }
-                        let cell = &cells[pending[i]];
-                        let result = eval(cell, derive_seed(master, cell.id));
-                        let json = encode_cell(cell.id, &result);
-                        // A closed channel means the writer stopped
-                        // (another worker panicked); just wind down.
-                        if tx.send((cell.id, json, result)).is_err() {
-                            break;
+                    scope.spawn(move || {
+                        while let Some(out) = claim_and_eval(counter, pending, cells, master, eval)
+                        {
+                            // A closed channel means the writer stopped
+                            // (another worker panicked); just wind down.
+                            if tx.send(out).is_err() {
+                                break;
+                            }
                         }
                     })
                 })

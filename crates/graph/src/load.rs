@@ -67,7 +67,11 @@ impl EdgeLoads {
 
     /// The load on edge `e`.
     pub fn get(&self, e: EdgeId) -> f64 {
-        self.load[e as usize]
+        // A solver accumulator must not silently absorb an out-of-range
+        // edge id — masking it with a default would corrupt congestion
+        // totals; the contract taint from same-named serving-plane
+        // lookups is a name collision, not a real call.
+        self.load[e as usize] // lint: allow(hot_panic)
     }
 
     /// The dense load slice, indexed by edge id.

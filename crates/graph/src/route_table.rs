@@ -110,34 +110,37 @@ impl RouteTable {
     }
 
     /// The dense pair index of `(s, t)`, if the table has it: binary
-    /// search over the source's target range.
+    /// search over the source's target range. Infallible by
+    /// construction — every access is a checked `.get` — because this
+    /// sits under the serving plane's panic-freedom contract.
     fn pair_index(&self, s: VertexId, t: VertexId) -> Option<usize> {
         let s = s as usize;
-        if s + 1 >= self.src_offsets.len() {
-            return None;
-        }
-        let (lo, hi) = (
-            self.src_offsets[s] as usize,
-            self.src_offsets[s + 1] as usize,
-        );
-        let row = &self.targets[lo..hi];
+        let lo = *self.src_offsets.get(s)? as usize;
+        let hi = *self.src_offsets.get(s + 1)? as usize;
+        let row = self.targets.get(lo..hi)?;
         row.binary_search(&t).ok().map(|i| lo + i)
+    }
+
+    /// The `(path_ids, cdf)` slices of `R(s, t)`; `None` when the pair
+    /// is not in the table. The two slices are aligned and non-empty
+    /// (the builder rejects empty distributions).
+    fn pair_slices(&self, s: VertexId, t: VertexId) -> Option<(&[PathId], &[f64])> {
+        let i = self.pair_index(s, t)?;
+        let &(start, len) = self.ranges.get(i)?;
+        let (start, end) = (start as usize, (start + len) as usize);
+        Some((self.path_ids.get(start..end)?, self.cdf.get(start..end)?))
     }
 
     /// The path ids of `R(s, t)`, in distribution order; `None` when the
     /// pair is not in the table.
     pub fn path_ids(&self, s: VertexId, t: VertexId) -> Option<&[PathId]> {
-        let i = self.pair_index(s, t)?;
-        let (start, len) = self.ranges[i];
-        Some(&self.path_ids[start as usize..(start + len) as usize])
+        Some(self.pair_slices(s, t)?.0)
     }
 
     /// The cumulative normalized weights of `R(s, t)`, aligned with
     /// [`RouteTable::path_ids`].
     pub fn cdf(&self, s: VertexId, t: VertexId) -> Option<&[f64]> {
-        let i = self.pair_index(s, t)?;
-        let (start, len) = self.ranges[i];
-        Some(&self.cdf[start as usize..(start + len) as usize])
+        Some(self.pair_slices(s, t)?.1)
     }
 
     /// Draws one path of `R(s, t)` from the uniform deviate `u ∈ [0, 1)`:
@@ -145,22 +148,44 @@ impl RouteTable {
     /// the module docs for the exact pinned arithmetic). `None` when the
     /// pair is not in the table.
     pub fn sample_with(&self, s: VertexId, t: VertexId, u: f64) -> Option<PathId> {
-        let i = self.pair_index(s, t)?;
-        let (start, len) = self.ranges[i];
-        let (start, len) = (start as usize, len as usize);
-        let cdf = &self.cdf[start..start + len];
-        let x = u * cdf[len - 1];
-        // First entry >= x; a deviate at/above the total (float rounding)
-        // clamps to the last path, mirroring the subtractive scan's
-        // fallback arm.
-        let k = cdf.partition_point(|&c| c < x).min(len - 1);
-        Some(self.path_ids[start + k])
+        let (ids, cdf) = self.pair_slices(s, t)?;
+        sample_cdf(ids, cdf, u)
     }
 
     /// Draws `alpha` paths for `(s, t)` by consuming `alpha` deviates
     /// from `rng` in order (duplicates allowed — Definition 5.2 samples
-    /// with replacement). `None` when the pair is not in the table; the
-    /// RNG is not consumed in that case.
+    /// with replacement), appending them to `out`. Returns `false`
+    /// without consuming the RNG or touching `out` when the pair is not
+    /// in the table.
+    ///
+    /// This is the serving plane's entry: `out` is per-shard scratch
+    /// with capacity reserved at batch setup, so the per-request path
+    /// performs no allocation.
+    pub fn sample_alpha_into<R: Rng + ?Sized>(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        alpha: usize,
+        rng: &mut R,
+        out: &mut Vec<PathId>,
+    ) -> bool {
+        let Some((ids, cdf)) = self.pair_slices(s, t) else {
+            return false;
+        };
+        for _ in 0..alpha {
+            let u = rng.gen::<f64>();
+            if let Some(id) = sample_cdf(ids, cdf, u) {
+                // Appends into caller-reserved capacity; the reserve is
+                // per-batch setup, not per-request work.
+                out.push(id); // lint: allow(hot_alloc)
+            }
+        }
+        true
+    }
+
+    /// Draws `alpha` paths for `(s, t)` into a fresh `Vec` (convenience
+    /// over [`RouteTable::sample_alpha_into`]). `None` when the pair is
+    /// not in the table; the RNG is not consumed in that case.
     pub fn sample_alpha<R: Rng + ?Sized>(
         &self,
         s: VertexId,
@@ -168,16 +193,25 @@ impl RouteTable {
         alpha: usize,
         rng: &mut R,
     ) -> Option<Vec<PathId>> {
-        self.pair_index(s, t)?;
-        Some(
-            (0..alpha)
-                .map(|_| {
-                    self.sample_with(s, t, rng.gen::<f64>())
-                        .expect("pair_index checked above")
-                })
-                .collect(),
-        )
+        let mut out = Vec::with_capacity(alpha);
+        if self.sample_alpha_into(s, t, alpha, rng, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
     }
+}
+
+/// The pinned CDF draw over one pair's aligned slices: first index
+/// whose cumulative weight reaches `u * total`, clamped to the last
+/// path for deviates at/above the total (float rounding), mirroring
+/// the subtractive scan's fallback arm. `None` only on empty slices,
+/// which the builder never produces.
+fn sample_cdf(ids: &[PathId], cdf: &[f64], u: f64) -> Option<PathId> {
+    let total = *cdf.last()?;
+    let x = u * total;
+    let k = cdf.partition_point(|&c| c < x).min(cdf.len() - 1);
+    ids.get(k).copied()
 }
 
 /// Builds a [`RouteTable`] from per-pair distributions pushed in strictly
@@ -397,6 +431,22 @@ mod tests {
             .map(|_| table.sample_with(0, 2, replay.gen::<f64>()).unwrap())
             .collect();
         assert_eq!(draws, by_hand);
+    }
+
+    #[test]
+    fn sample_alpha_into_matches_sample_alpha_and_preserves_the_rng() {
+        let (table, _, _) = two_path_table();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = Vec::with_capacity(8);
+        // A missing pair neither consumes deviates nor touches `out`.
+        assert!(!table.sample_alpha_into(1, 3, 4, &mut rng, &mut out));
+        assert!(out.is_empty());
+        assert!(table.sample_alpha_into(0, 2, 4, &mut rng, &mut out));
+        assert_eq!(out.len(), 4);
+        let expected = table
+            .sample_alpha(0, 2, 4, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(out, expected, "the failed lookup left the stream intact");
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! The approximate intra-workspace call graph.
+//!
+//! Nodes are the [`crate::parser::FnDef`]s of every *library* source
+//! file (`crates/*/src/**` and the facade `src/**`, excluding
+//! `src/bin/**` — binary targets cannot be linked as callees of library
+//! code, so admitting them would only manufacture false edges from
+//! same-named helpers). Edges come from name-based resolution,
+//! sharpened four ways and blunted deliberately everywhere else:
+//!
+//! - `.name(args)` resolves to every workspace method called `name`;
+//! - `Type::name(args)` resolves to methods/assoc fns of `Type` when
+//!   `Type` is a workspace impl subject (with `Self` rewritten to the
+//!   caller's impl subject); a *foreign* type qualifier (`Arc::new`,
+//!   `Vec::with_capacity`, `io::Error::new`) resolves to **nothing** —
+//!   chasing it to every same-named workspace function would taint the
+//!   whole tree through one `Arc::new`. A lowercase qualifier is a
+//!   module path, so `module::name(args)` resolves to free functions
+//!   called `name`;
+//! - `name(args)` resolves to free functions called `name`;
+//! - when the call site's argument count is computable (no closure
+//!   literal among the arguments), candidates whose parameter count
+//!   cannot accept it are dropped — a same-named function the call
+//!   could not compile against is not a callee. When every candidate
+//!   mismatches, the call is foreign (std shares our method names) and
+//!   resolves to nothing. An incomputable arity skips the filter.
+//! - the caller must be able to *link* the callee: an edge is kept
+//!   only when `may_call(caller_path, callee_path)` holds. The runner
+//!   wires this to the Cargo dependency closure, so the serving plane
+//!   can never "call into" the lint or bench tooling that merely
+//!   reuses a method name.
+//!
+//! Within those rules ambiguity still taints every candidate
+//! (over-approximation: a contract violation in any admissible
+//! same-named function is reported), while calls into std/vendored
+//! code resolve to nothing and are covered by the token rules at the
+//! call site instead (under-approximation, documented in
+//! `ARCHITECTURE.md`). Test functions (`#[cfg(test)]` modules,
+//! `#[test]` attrs) are never candidates: a test helper's `.unwrap()`
+//! cannot taint the serving plane.
+
+use crate::parser::{CallKind, FnDef, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The workspace call graph: all library functions plus resolved,
+/// sorted, deduplicated adjacency.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every function, in (file, source) order.
+    pub fns: Vec<FnDef>,
+    /// `edges[i]` = indices of the functions `fns[i]` may call.
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from per-file parses (one entry per library
+    /// file, in sorted path order for determinism). `may_call` is the
+    /// linkability oracle: an edge from a function in `caller_path` to
+    /// one in `callee_path` is kept only when it returns `true` (the
+    /// runner wires it to the Cargo dependency closure; tests pass
+    /// `&|_, _| true`).
+    pub fn build(parsed: &[ParsedFile], may_call: &dyn Fn(&str, &str) -> bool) -> CallGraph {
+        let mut fns: Vec<FnDef> = Vec::new();
+        // (file index, local fn index) -> global index.
+        let mut base = Vec::with_capacity(parsed.len());
+        for p in parsed {
+            base.push(fns.len());
+            fns.extend(p.fns.iter().cloned());
+        }
+
+        // Candidate indices by simple name, split by shape, plus the
+        // set of impl/trait subjects the workspace defines (a `Type::`
+        // qualifier outside this set is foreign).
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut subjects: BTreeSet<&str> = BTreeSet::new();
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            if let Some(t) = &f.type_name {
+                subjects.insert(t);
+                methods.entry(&f.name).or_default().push(i);
+            } else {
+                free.entry(&f.name).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (file_idx, p) in parsed.iter().enumerate() {
+            for call in &p.calls {
+                let caller = base[file_idx] + call.caller;
+                let caller_type = fns[caller].type_name.clone();
+                let name = call.name.as_str();
+                let mut cands: Vec<usize> = match &call.kind {
+                    CallKind::Method => methods.get(name).cloned().unwrap_or_default(),
+                    CallKind::Free => free.get(name).cloned().unwrap_or_default(),
+                    CallKind::Path(qual) => {
+                        let qual = if qual == "Self" {
+                            caller_type.as_deref().unwrap_or("Self")
+                        } else {
+                            qual.as_str()
+                        };
+                        if subjects.contains(qual) {
+                            // One of ours: exactly the subject's items.
+                            methods
+                                .get(name)
+                                .map(|v| {
+                                    v.iter()
+                                        .copied()
+                                        .filter(|&i| fns[i].type_name.as_deref() == Some(qual))
+                                        .collect()
+                                })
+                                .unwrap_or_default()
+                        } else if qual.starts_with(|c: char| c.is_lowercase() || c == '_') {
+                            // Module path: a qualified free-function call.
+                            free.get(name).cloned().unwrap_or_default()
+                        } else {
+                            // Foreign type (Arc, Vec, io::Error, ...):
+                            // the token rules cover the call site.
+                            Vec::new()
+                        }
+                    }
+                };
+                if let Some(arity) = call.arity {
+                    cands.retain(|&i| arity_matches(&fns[i], &call.kind, arity));
+                }
+                cands.retain(|&i| may_call(&fns[caller].path, &fns[i].path));
+                edges[caller].extend(cands);
+            }
+        }
+        for adj in &mut edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// BFS from `entry`: every reachable function index mapped to its
+    /// BFS parent (`entry` maps to itself). Deterministic — adjacency is
+    /// sorted and visitation is first-wins.
+    pub fn reachable(&self, entry: usize) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        parent.insert(entry, entry);
+        let mut queue = std::collections::VecDeque::from([entry]);
+        while let Some(i) = queue.pop_front() {
+            for &j in self.edges.get(i).map(Vec::as_slice).unwrap_or(&[]) {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(j) {
+                    e.insert(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `entry → … → target` as qualified names, read off
+    /// the BFS parent map.
+    pub fn chain(&self, parent: &BTreeMap<usize, usize>, target: usize) -> Vec<String> {
+        let mut rev = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.into_iter().map(|i| self.qualified(i)).collect()
+    }
+
+    /// `Type::name` or `name` for display.
+    pub fn qualified(&self, i: usize) -> String {
+        let f = &self.fns[i];
+        match &f.type_name {
+            Some(t) => format!("{t}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+}
+
+/// Whether a candidate's parameter shape is compatible with a call
+/// site's computed argument count.
+fn arity_matches(f: &FnDef, kind: &CallKind, arity: usize) -> bool {
+    match kind {
+        // `.name(k args)` supplies the receiver implicitly.
+        CallKind::Method => f.params == arity,
+        CallKind::Free => f.params == arity,
+        // `Type::name(k args)`: assoc-fn style (k params) or UFCS with
+        // an explicit receiver (k-1 params + self).
+        CallKind::Path(_) => {
+            if f.has_self {
+                f.params == arity || f.params + 1 == arity
+            } else {
+                f.params == arity
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::scanner::scan_source;
+
+    fn graph(srcs: &[&str]) -> CallGraph {
+        let parsed: Vec<ParsedFile> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_file(&scan_source(&format!("crates/x/src/f{i}.rs"), s)))
+            .collect();
+        CallGraph::build(&parsed, &|_, _| true)
+    }
+
+    fn idx(g: &CallGraph, q: &str) -> usize {
+        (0..g.fns.len())
+            .find(|&i| g.qualified(i) == q)
+            .unwrap_or_else(|| panic!("no fn {q}"))
+    }
+
+    #[test]
+    fn transitive_reachability_crosses_files() {
+        let g = graph(&[
+            "fn entry() { middle(1); }\nfn middle(x: u32) { leaf(x, x); }\n",
+            "fn leaf(a: u32, b: u32) -> u32 { a + b }\n",
+        ]);
+        let r = g.reachable(idx(&g, "entry"));
+        assert!(r.contains_key(&idx(&g, "leaf")));
+        assert_eq!(
+            g.chain(&r, idx(&g, "leaf")),
+            vec!["entry", "middle", "leaf"]
+        );
+    }
+
+    #[test]
+    fn method_calls_taint_all_same_named_methods() {
+        let g = graph(&[
+            "fn entry(x: &Foo) { x.get(1); }\n",
+            "impl Foo { fn get(&self, i: usize) -> u32 { self.v[i] } }\n\
+             impl Bar { fn get(&self, i: usize) -> u32 { 0 } }\n\
+             impl Baz { fn get(&self, a: usize, b: usize) -> u32 { 0 } }\n",
+        ]);
+        let r = g.reachable(idx(&g, "entry"));
+        assert!(r.contains_key(&idx(&g, "Foo::get")), "same arity taints");
+        assert!(r.contains_key(&idx(&g, "Bar::get")), "ambiguity taints");
+        assert!(
+            !r.contains_key(&idx(&g, "Baz::get")),
+            "arity filter excludes the 2-arg get"
+        );
+    }
+
+    #[test]
+    fn typed_path_calls_prefer_the_subject_type() {
+        let g = graph(&["fn entry() { Foo::make(); }\n\
+             impl Foo { fn make() -> Foo { Foo } }\n\
+             impl Bar { fn make() -> Bar { Bar } }\n"]);
+        let r = g.reachable(idx(&g, "entry"));
+        assert!(r.contains_key(&idx(&g, "Foo::make")));
+        assert!(!r.contains_key(&idx(&g, "Bar::make")));
+    }
+
+    #[test]
+    fn test_fns_are_never_candidates() {
+        let g = graph(&["fn entry() { helper(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { boom(); }\n}\n"]);
+        let r = g.reachable(idx(&g, "entry"));
+        assert_eq!(r.len(), 1, "only the entry itself: {r:?}");
+    }
+
+    #[test]
+    fn arity_mismatch_means_the_callee_is_foreign() {
+        // A call the lone same-named candidate could not compile
+        // against is a call to something else (std shares our names);
+        // an incomputable arity (closure argument) keeps the edge.
+        let g = graph(&["fn entry() { helper(1, 2, 3); }\n\
+             fn entry2() { helper(|x| x); }\n\
+             fn helper(a: u32) -> u32 { a }\n"]);
+        let r = g.reachable(idx(&g, "entry"));
+        assert!(!r.contains_key(&idx(&g, "helper")), "3 args into 1 param");
+        let r2 = g.reachable(idx(&g, "entry2"));
+        assert!(r2.contains_key(&idx(&g, "helper")), "closure blinds arity");
+    }
+
+    #[test]
+    fn foreign_type_quals_resolve_to_nothing() {
+        // `Arc::new` must not taint every workspace `new`; a lowercase
+        // qualifier is a module path and still reaches free fns.
+        let g = graph(&[
+            "fn entry() { let _ = Arc::new(1); helpers::make(2); }\n",
+            "impl Foo { pub fn new(x: u32) -> Foo { Foo } }\n\
+             pub fn make(x: u32) -> u32 { x }\n",
+        ]);
+        let r = g.reachable(idx(&g, "entry"));
+        assert!(!r.contains_key(&idx(&g, "Foo::new")), "Arc is foreign");
+        assert!(
+            r.contains_key(&idx(&g, "make")),
+            "module-qualified free call"
+        );
+    }
+
+    #[test]
+    fn may_call_prunes_unlinkable_edges() {
+        let parsed: Vec<ParsedFile> = [
+            ("crates/serve/src/a.rs", "fn entry() { helper(1); }\n"),
+            ("crates/lint/src/b.rs", "fn helper(x: u32) -> u32 { x }\n"),
+        ]
+        .iter()
+        .map(|(p, s)| parse_file(&scan_source(p, s)))
+        .collect();
+        let g = CallGraph::build(&parsed, &|caller, _| !caller.contains("serve"));
+        let r = g.reachable(idx(&g, "entry"));
+        assert!(
+            !r.contains_key(&idx(&g, "helper")),
+            "serve cannot link lint"
+        );
+    }
+}

@@ -21,6 +21,15 @@
 //! material. The escape hatch is per-line and greppable:
 //! `// lint: allow(rule)`.
 //!
+//! On top of the flat scan sits one structural layer: a lightweight
+//! item parser ([`parser`]) recognizes `fn` items, `impl` blocks, and
+//! call sites in the blanked token stream, an approximate name-based
+//! call graph ([`callgraph`]) connects them (conservatively — an
+//! ambiguous callee taints every candidate), and the contract rules
+//! ([`rules::contract`]) enforce transitive panic-freedom and
+//! allocation discipline for the hot entry points declared in the
+//! committed `lint_contracts.json` ([`contracts`]).
+//!
 //! Two entry modes (see [`runner`]): `--check` compares the tree and
 //! the committed ratchet baseline (`lint_budget.json`), `--bless`
 //! re-records the baseline — counts may only shrink through bless,
@@ -30,10 +39,13 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod callgraph;
+pub mod contracts;
+pub mod parser;
 pub mod rules;
 pub mod runner;
 pub mod scanner;
 
 pub use rules::{Diagnostic, FileClass};
-pub use runner::{run, Mode, Outcome};
+pub use runner::{find_workspace_root, run, Mode, Outcome};
 pub use scanner::{scan_source, SourceFile};

@@ -9,8 +9,8 @@
 
 #![forbid(unsafe_code)]
 
-use ssor_lint::runner::{run, Mode};
-use std::path::{Path, PathBuf};
+use ssor_lint::runner::{find_workspace_root, run, Mode};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -26,23 +26,6 @@ fn usage() -> ExitCode {
          --quiet   suppress notes and the summary line"
     );
     ExitCode::from(2)
-}
-
-/// Walks up from `start` to the first directory whose `Cargo.toml`
-/// declares a `[workspace]` — the scan root.
-fn find_workspace_root(start: &Path) -> Option<PathBuf> {
-    let mut dir = start.to_path_buf();
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            if text.contains("[workspace]") {
-                return Some(dir);
-            }
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
 }
 
 fn main() -> ExitCode {

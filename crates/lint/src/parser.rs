@@ -1,0 +1,735 @@
+//! Lightweight item parser: `fn` items, `impl`/`trait` blocks, and call
+//! sites, recovered from the scanner's blanked lines.
+//!
+//! This is deliberately **not** an AST. The call-graph contract rules
+//! (see [`crate::rules::contract`]) need three facts per file — which
+//! functions exist, where their bodies are, and what they call — and all
+//! three are recoverable from a single linear scan over blanked code,
+//! because the scanner already removed every construct that could fool
+//! brace matching (comments, string/char literal contents). What remains
+//! is an approximation with known edges, documented in
+//! `ARCHITECTURE.md`:
+//!
+//! - **Over-approximation.** Calls are resolved by *name* (plus receiver
+//!   type for `Type::name` paths and arity when it is computable), so an
+//!   ambiguous name taints every same-named candidate. A false edge can
+//!   only make the checker stricter, never blinder.
+//! - **Under-approximation.** Calls through std/vendored code, function
+//!   pointers, trait objects, and macro expansions are invisible. Std is
+//!   assumed panic-disciplined at the call token level instead: the
+//!   token rules ban the *call sites* (`.unwrap()`, `[i]`, `.collect`)
+//!   rather than chasing their callees.
+//!
+//! Bodies are attributed to the innermost enclosing `fn`, so closures
+//! and nested items scan under their lexical parent — exactly the
+//! conservative choice for reachability.
+
+use crate::scanner::SourceFile;
+
+/// One `fn` item recovered from a scanned file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Simple name (`answer_on`, `sample_with`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type's last path segment, if any.
+    pub type_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 1-based body line range (opening to closing brace), `None` for a
+    /// bodiless declaration (trait method signature).
+    pub body: Option<(usize, usize)>,
+    /// Parameter count **excluding** any `self` receiver.
+    pub params: usize,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Inside a `#[cfg(test)]` module or carrying `#[test]`/`#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `.name(...)` — a method on some receiver.
+    Method,
+    /// `qual::name(...)` — the last two path segments.
+    Path(String),
+    /// `name(...)` — a bare call.
+    Free,
+}
+
+/// One call site inside some function's body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index into the file's `fns` of the lexically enclosing function.
+    pub caller: usize,
+    /// Callee's simple name.
+    pub name: String,
+    /// Resolution shape.
+    pub kind: CallKind,
+    /// Argument count, when it could be computed confidently (`None`
+    /// when a closure literal or unbalanced bracketing makes the comma
+    /// count unreliable — resolution then falls back to name-only).
+    pub arity: Option<usize>,
+}
+
+/// Everything the call graph needs from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Functions defined in the file, in source order.
+    pub fns: Vec<FnDef>,
+    /// Call sites inside those functions' bodies.
+    pub calls: Vec<CallSite>,
+}
+
+/// Scope-stack entries during the linear scan.
+#[derive(Debug, Clone)]
+enum Scope {
+    /// An `impl`/`trait` block and its subject type name.
+    Impl(Option<String>),
+    /// A `mod` block; `true` inside `#[cfg(test)]`.
+    Mod(bool),
+    /// A function body (index into `ParsedFile::fns`).
+    Fn(usize),
+    /// Any other brace pair (blocks, match arms, struct literals).
+    Other,
+}
+
+fn is_word(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+const KEYWORDS: [&str; 26] = [
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "move", "mut", "ref",
+    "let", "fn", "impl", "pub", "use", "where", "unsafe", "dyn", "break", "continue", "await",
+    "async", "true", "false",
+];
+
+/// Parses one scanned file into its functions and call sites.
+pub fn parse_file(file: &SourceFile) -> ParsedFile {
+    // Join the blanked lines; record each line's start offset so byte
+    // positions map back to 1-based line numbers.
+    let mut text = String::new();
+    let mut line_starts = Vec::with_capacity(file.lines.len());
+    for line in &file.lines {
+        line_starts.push(text.len());
+        text.push_str(&line.code);
+        text.push('\n');
+    }
+    let chars: Vec<char> = text.chars().collect();
+    // char index -> byte offset is identity only for ASCII; track both.
+    let mut byte_of = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0usize;
+    for &c in &chars {
+        byte_of.push(b);
+        b += c.len_utf8();
+    }
+    byte_of.push(b);
+    let line_of = |ci: usize| -> usize {
+        let byte = byte_of[ci.min(byte_of.len() - 1)];
+        match line_starts.binary_search(&byte) {
+            Ok(l) => l + 1,
+            Err(l) => l, // insertion point is 1 past the containing line
+        }
+    };
+
+    let mut out = ParsedFile::default();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending_test = false;
+    let mut i = 0usize;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        if c == '#' && i + 1 < n && chars[i + 1] == '[' {
+            // Attribute: consume to the matching `]`, note test markers.
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < n && depth > 0 {
+                match chars[j] {
+                    '[' => depth += 1,
+                    ']' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr: String = chars[start..j.saturating_sub(1)].iter().collect();
+            let attr = attr.trim();
+            if attr == "test" || attr.contains("cfg(test)") {
+                pending_test = true;
+            }
+            i = j;
+            continue;
+        }
+        if c == '{' {
+            stack.push(Scope::Other);
+            i += 1;
+            continue;
+        }
+        if c == '}' {
+            stack.pop();
+            i += 1;
+            continue;
+        }
+        if is_word(c) && (i == 0 || !is_word(chars[i - 1])) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_word(chars[j]) {
+                j += 1;
+            }
+            let word: String = chars[start..j].iter().collect();
+            match word.as_str() {
+                "impl" | "trait" => {
+                    pending_test = false;
+                    i = parse_impl_header(&chars, j, &word, &mut stack);
+                    continue;
+                }
+                "mod" => {
+                    let in_test = pending_test || in_test_scope(&stack);
+                    pending_test = false;
+                    i = parse_mod_header(&chars, j, in_test, &mut stack);
+                    continue;
+                }
+                "fn" => {
+                    let is_test = pending_test || in_test_scope(&stack);
+                    pending_test = false;
+                    i = parse_fn(
+                        file, &chars, start, j, is_test, &mut stack, &mut out, &line_of,
+                    );
+                    continue;
+                }
+                "struct" | "enum" | "union" | "const" | "static" | "type" | "use" => {
+                    pending_test = false;
+                }
+                _ => {
+                    maybe_record_call(&chars, start, j, &stack, &mut out);
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn in_test_scope(stack: &[Scope]) -> bool {
+    stack.iter().any(|s| matches!(s, Scope::Mod(true)))
+}
+
+fn enclosing_fn(stack: &[Scope]) -> Option<usize> {
+    stack.iter().rev().find_map(|s| match s {
+        Scope::Fn(idx) => Some(*idx),
+        _ => None,
+    })
+}
+
+fn enclosing_type(stack: &[Scope]) -> Option<String> {
+    stack.iter().rev().find_map(|s| match s {
+        Scope::Impl(t) => t.clone(),
+        _ => None,
+    })
+}
+
+/// Consumes an `impl`/`trait` header up to its `{` (or `;` for a trait
+/// alias), pushing the scope. Returns the index just past the delimiter.
+fn parse_impl_header(chars: &[char], mut i: usize, kw: &str, stack: &mut Vec<Scope>) -> usize {
+    let n = chars.len();
+    let start = i;
+    while i < n && chars[i] != '{' && chars[i] != ';' {
+        i += 1;
+    }
+    let header: String = chars[start..i].iter().collect();
+    let subject = impl_subject(&header, kw);
+    if i < n && chars[i] == '{' {
+        stack.push(Scope::Impl(subject));
+        i + 1
+    } else {
+        (i + 1).min(n)
+    }
+}
+
+/// Extracts the subject type's last path segment from an impl/trait
+/// header body (text between the keyword and the opening brace).
+fn impl_subject(header: &str, kw: &str) -> Option<String> {
+    // Strip generic params directly after the keyword, then for `impl`
+    // take the text after ` for ` when present (trait impls), cut any
+    // `where` clause, and keep the last `::` segment minus generics.
+    let mut rest = header.trim_start();
+    if rest.starts_with('<') {
+        let mut depth = 0i32;
+        let mut cut = rest.len();
+        for (pos, ch) in rest.char_indices() {
+            match ch {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = pos + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[cut..];
+    }
+    if kw == "impl" {
+        if let Some(pos) = find_word(rest, "for") {
+            rest = &rest[pos + 3..];
+        }
+    }
+    if let Some(pos) = find_word(rest, "where") {
+        rest = &rest[..pos];
+    }
+    let rest = rest.trim();
+    let head: &str = rest
+        .split(|c: char| c == '<' || c.is_whitespace())
+        .next()
+        .unwrap_or("");
+    let name = head
+        .rsplit("::")
+        .next()
+        .unwrap_or("")
+        .trim_matches(|c: char| !is_word(c));
+    if name.is_empty() || !name.chars().next().is_some_and(|c| c.is_alphabetic()) {
+        None
+    } else {
+        Some(name.to_string())
+    }
+}
+
+/// Byte position of `needle` in `hay` on word boundaries.
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        let end = at + needle.len();
+        let left = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let right = end >= bytes.len() || !bytes[end].is_ascii_alphanumeric() && bytes[end] != b'_';
+        if left && right {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+/// Consumes a `mod` header (`mod name;` or `mod name {`), pushing the
+/// scope for the block form.
+fn parse_mod_header(chars: &[char], mut i: usize, is_test: bool, stack: &mut Vec<Scope>) -> usize {
+    let n = chars.len();
+    while i < n && chars[i] != '{' && chars[i] != ';' {
+        i += 1;
+    }
+    if i < n && chars[i] == '{' {
+        stack.push(Scope::Mod(is_test));
+    }
+    (i + 1).min(n)
+}
+
+/// Parses one `fn` item from the `fn` keyword: name, parameter shape,
+/// and body extent. Pushes a [`Scope::Fn`] when the body opens here.
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    file: &SourceFile,
+    chars: &[char],
+    kw_start: usize,
+    mut i: usize,
+    is_test: bool,
+    stack: &mut Vec<Scope>,
+    out: &mut ParsedFile,
+    line_of: &dyn Fn(usize) -> usize,
+) -> usize {
+    let n = chars.len();
+    while i < n && chars[i].is_whitespace() {
+        i += 1;
+    }
+    // `fn` as a function-pointer *type* has no name; skip it.
+    if i >= n || !(chars[i].is_ascii_alphabetic() || chars[i] == '_') {
+        return i;
+    }
+    let name_start = i;
+    while i < n && is_word(chars[i]) {
+        i += 1;
+    }
+    let name: String = chars[name_start..i].iter().collect();
+    // Skip generics between the name and the parameter list.
+    while i < n && chars[i].is_whitespace() {
+        i += 1;
+    }
+    if i < n && chars[i] == '<' {
+        let mut depth = 0i32;
+        while i < n {
+            match chars[i] {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    while i < n && chars[i].is_whitespace() {
+        i += 1;
+    }
+    if i >= n || chars[i] != '(' {
+        return i;
+    }
+    // Parameter list: balanced parens; split on depth-1 commas outside
+    // brackets for the count and the `self` receiver check.
+    let params_start = i + 1;
+    let (mut pd, mut bd, mut cd) = (1i32, 0i32, 0i32);
+    let mut j = params_start;
+    let mut commas = 0usize;
+    while j < n && pd > 0 {
+        match chars[j] {
+            '(' => pd += 1,
+            ')' => pd -= 1,
+            '[' => bd += 1,
+            ']' => bd -= 1,
+            '{' => cd += 1,
+            '}' => cd -= 1,
+            ',' if pd == 1 && bd == 0 && cd == 0 => commas += 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    let params_text: String = chars[params_start..j.saturating_sub(1)].iter().collect();
+    let trimmed = params_text.trim();
+    let (has_self, params) = if trimmed.is_empty() {
+        (false, 0)
+    } else {
+        let first = trimmed.split(',').next().unwrap_or("").trim();
+        let receiver = {
+            // Strip `&`, a lifetime token, and `mut` off the receiver
+            // position: `&'a mut self` → `self`.
+            let mut s = first.trim_start_matches('&').trim_start();
+            if let Some(rest) = s.strip_prefix('\'') {
+                s = rest.trim_start_matches(is_word).trim_start();
+            }
+            let s = s.strip_prefix("mut ").map(str::trim_start).unwrap_or(s);
+            s == "self" || s.starts_with("self:") || s.starts_with("self ")
+        };
+        let total = commas + 1;
+        if receiver {
+            (true, total - 1)
+        } else {
+            (false, total)
+        }
+    };
+    // After the parameter list: return type / where clause, then `{`
+    // body or `;` declaration, at paren depth 0.
+    let mut k = j;
+    let mut depth = 0i32;
+    while k < n {
+        match chars[k] {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            '{' if depth == 0 => break,
+            ';' if depth == 0 => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    let fn_idx = out.fns.len();
+    let sig_line = line_of(kw_start);
+    if k < n && chars[k] == '{' {
+        out.fns.push(FnDef {
+            path: file.path.clone(),
+            name,
+            type_name: enclosing_type(stack),
+            sig_line,
+            body: Some((line_of(k), line_of(k))), // end patched by scope pop
+            params,
+            has_self,
+            is_test,
+        });
+        // Track the body ourselves so the end line can be recorded.
+        let body_end = matching_brace(chars, k);
+        if let Some(f) = out.fns.get_mut(fn_idx) {
+            f.body = Some((line_of(k), line_of(body_end)));
+        }
+        stack.push(Scope::Fn(fn_idx));
+        k + 1
+    } else {
+        out.fns.push(FnDef {
+            path: file.path.clone(),
+            name,
+            type_name: enclosing_type(stack),
+            sig_line,
+            body: None,
+            params,
+            has_self,
+            is_test,
+        });
+        (k + 1).min(n)
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (last index on imbalance).
+fn matching_brace(chars: &[char], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len().saturating_sub(1)
+}
+
+/// Records `word` (spanning `chars[start..end]`) as a call site when it
+/// is followed by `(` (optionally through a turbofish) and we are inside
+/// a function body. Macro invocations (`name!`) are skipped — their
+/// tokens are handled by the per-line token rules instead.
+fn maybe_record_call(
+    chars: &[char],
+    start: usize,
+    end: usize,
+    stack: &[Scope],
+    out: &mut ParsedFile,
+) {
+    let Some(caller) = enclosing_fn(stack) else {
+        return;
+    };
+    let word: String = chars[start..end].iter().collect();
+    if KEYWORDS.contains(&word.as_str()) || word == "self" || word == "Self" {
+        return;
+    }
+    let n = chars.len();
+    let mut j = end;
+    while j < n && chars[j].is_whitespace() {
+        j += 1;
+    }
+    if j < n && chars[j] == '!' {
+        return; // macro
+    }
+    // Turbofish: `name::<...>(`.
+    if j + 1 < n && chars[j] == ':' && chars[j + 1] == ':' {
+        let mut t = j + 2;
+        while t < n && chars[t].is_whitespace() {
+            t += 1;
+        }
+        if t < n && chars[t] == '<' {
+            let mut depth = 0i32;
+            while t < n {
+                match chars[t] {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            t += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                t += 1;
+            }
+            j = t;
+            while j < n && chars[j].is_whitespace() {
+                j += 1;
+            }
+        } else {
+            return; // `name::segment...` — the *next* segment is the call
+        }
+    }
+    if j >= n || chars[j] != '(' {
+        return;
+    }
+    // Classify by what precedes the name.
+    let mut p = start;
+    while p > 0 && chars[p - 1].is_whitespace() {
+        p -= 1;
+    }
+    let kind = if p > 0 && chars[p - 1] == '.' {
+        CallKind::Method
+    } else if p > 1 && chars[p - 1] == ':' && chars[p - 2] == ':' {
+        // Walk back over the qualifying segment.
+        let mut q = p - 2;
+        while q > 0 && chars[q - 1].is_whitespace() {
+            q -= 1;
+        }
+        let qual_end = q;
+        while q > 0 && is_word(chars[q - 1]) {
+            q -= 1;
+        }
+        let qual: String = chars[q..qual_end].iter().collect();
+        if qual.is_empty() {
+            CallKind::Free
+        } else {
+            CallKind::Path(qual)
+        }
+    } else {
+        CallKind::Free
+    };
+    out.calls.push(CallSite {
+        caller,
+        name: word,
+        kind,
+        arity: call_arity(chars, j),
+    });
+}
+
+/// Argument count of the call whose `(` sits at `open`: depth-1 commas
+/// outside nested brackets. `None` when a closure literal (`|`) makes
+/// the comma count unreliable — the resolver then skips arity filtering.
+fn call_arity(chars: &[char], open: usize) -> Option<usize> {
+    let n = chars.len();
+    let (mut pd, mut bd, mut cd) = (1i32, 0i32, 0i32);
+    let mut j = open + 1;
+    let mut commas = 0usize;
+    let mut any = false;
+    while j < n && pd > 0 {
+        match chars[j] {
+            '(' => pd += 1,
+            ')' => pd -= 1,
+            '[' => bd += 1,
+            ']' => bd -= 1,
+            '{' => cd += 1,
+            '}' => cd -= 1,
+            '|' => return None,
+            ',' if pd == 1 && bd == 0 && cd == 0 => commas += 1,
+            _ => {}
+        }
+        if pd > 0 && !chars[j].is_whitespace() {
+            any = true;
+        }
+        j += 1;
+    }
+    if pd != 0 {
+        return None;
+    }
+    if !any {
+        Some(0)
+    } else {
+        Some(commas + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&scan_source("crates/x/src/a.rs", src))
+    }
+
+    #[test]
+    fn finds_free_fns_and_methods() {
+        let p = parse(
+            "fn top(a: u32, b: u32) -> u32 { a + b }\n\
+             impl Foo {\n    pub fn method(&self, x: u32) -> u32 { helper(x) }\n\
+             \n    fn assoc(n: usize) -> Foo { Foo { n } }\n}\n",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(p.fns[0].name, "top");
+        assert_eq!((p.fns[0].params, p.fns[0].has_self), (2, false));
+        assert_eq!(p.fns[1].name, "method");
+        assert_eq!(p.fns[1].type_name.as_deref(), Some("Foo"));
+        assert_eq!((p.fns[1].params, p.fns[1].has_self), (1, true));
+        assert_eq!((p.fns[2].params, p.fns[2].has_self), (1, false));
+        assert_eq!(p.calls.len(), 1);
+        assert_eq!(p.calls[0].name, "helper");
+        assert_eq!(p.calls[0].kind, CallKind::Free);
+        assert_eq!(p.calls[0].arity, Some(1));
+    }
+
+    #[test]
+    fn classifies_method_path_and_turbofish_calls() {
+        let p = parse(
+            "fn f(v: &[u32]) {\n\
+                 v.iter().collect::<Vec<_>>();\n\
+                 EpochCell::reader(&cell);\n\
+                 std::thread::spawn(move || {});\n\
+                 Self::assoc(1, 2);\n\
+             }\n",
+        );
+        let names: Vec<(&str, &CallKind)> =
+            p.calls.iter().map(|c| (c.name.as_str(), &c.kind)).collect();
+        assert!(names.contains(&("iter", &CallKind::Method)));
+        assert!(names.contains(&("collect", &CallKind::Method)));
+        assert!(names.contains(&("reader", &CallKind::Path("EpochCell".into()))));
+        assert!(names.contains(&("spawn", &CallKind::Path("thread".into()))));
+        assert!(names.contains(&("assoc", &CallKind::Path("Self".into()))));
+        // The closure argument makes spawn's arity unreliable.
+        let spawn = p.calls.iter().find(|c| c.name == "spawn").unwrap();
+        assert_eq!(spawn.arity, None);
+        let assoc = p.calls.iter().find(|c| c.name == "assoc").unwrap();
+        assert_eq!(assoc.arity, Some(2));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let p = parse("fn f() { panic!(\"x\"); if (a)(b) { vec![1] } }\n");
+        assert!(p.calls.iter().all(|c| c.name != "panic" && c.name != "if"));
+    }
+
+    #[test]
+    fn trait_impls_take_the_subject_type() {
+        let p = parse(
+            "impl<T: Clone> fmt::Display for Diagnostic<T> {\n\
+                 fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write(f) }\n\
+             }\n\
+             trait Oracle {\n    fn answer(&self) -> u32;\n    fn both(&self) -> u32 { self.answer() }\n}\n",
+        );
+        assert_eq!(p.fns[0].type_name.as_deref(), Some("Diagnostic"));
+        assert_eq!(p.fns[1].type_name.as_deref(), Some("Oracle"));
+        assert!(p.fns[1].body.is_none(), "declaration has no body");
+        assert!(p.fns[2].body.is_some(), "default method has a body");
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_fns() {
+        let p = parse(
+            "fn lib_fn() {}\n\
+             #[test]\nfn attr_test() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n",
+        );
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("lib_fn").is_test);
+        assert!(by_name("attr_test").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("t").is_test);
+    }
+
+    #[test]
+    fn body_line_ranges_cover_the_braces() {
+        let p = parse("fn a() {\n    one();\n}\n\nfn b() { two() }\n");
+        assert_eq!(p.fns[0].body, Some((1, 3)));
+        assert_eq!(p.fns[1].body, Some((5, 5)));
+        assert_eq!(p.fns[0].sig_line, 1);
+        assert_eq!(p.fns[1].sig_line, 5);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let p = parse("fn f(cb: fn(u32) -> u32) -> u32 { cb(1) }\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].params, 1);
+    }
+
+    #[test]
+    fn nested_closures_attribute_calls_to_the_enclosing_fn() {
+        let p = parse("fn outer() { run(|| { inner(); }); }\n");
+        assert!(p.calls.iter().any(|c| c.name == "inner" && c.caller == 0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Rules `hot_panic` / `hot_alloc`: transitive contracts over the call
+//! graph for the entry points declared in `lint_contracts.json`.
+//!
+//! **Why.** The serving plane's north star is answering millions of
+//! lookups per second; the sweep plane saturates many-core boxes for
+//! hours. On those paths, two token classes that are fine elsewhere
+//! become outages: a quiet panic idiom (`.unwrap()`, `panic!`, slice
+//! `[i]`) takes a whole query shard down for *one* bad request, and a
+//! per-request allocation (`.push` growth, `.collect`, `format!`) turns
+//! a sub-microsecond table lookup into allocator traffic that dominates
+//! the latency budget. The flat token rules cannot express "fine in a
+//! test helper, fatal in the query plane" — reachability can, which is
+//! what the call graph ([`crate::callgraph`]) provides.
+//!
+//! **`hot_panic`.** No `panic!` / `.unwrap()` / `.expect(` /
+//! `unreachable!` / `todo!` / `unimplemented!` / slice indexing `[i]`
+//! anywhere in the entry's transitive closure. `assert!` family macros
+//! are deliberately *not* banned: they are loud invariant guards on
+//! configuration (batch shape, alpha), not quiet per-request hazards —
+//! a documented under-approximation.
+//!
+//! **`hot_alloc`.** No `Vec::new` / `vec!` / `.push(` / `.collect` /
+//! `format!` / `.to_vec(` / `.to_string(` / `.to_owned(` /
+//! `String::new` / `Box::new` in the closure. `Vec::with_capacity` is
+//! deliberately allowed: an explicit-capacity allocation is a visible,
+//! auditable *per-batch* cost, and the rule's job is to catch
+//! growth-by-push and implicit collection on the *per-request* path.
+//!
+//! **Escape hatch.** `// lint: allow(hot_panic)` / `allow(hot_alloc)`
+//! on the offending line — per-batch setup (one `Vec::with_capacity`
+//! fill per shard), deliberate loud invariants, and conservative-taint
+//! bystanders are the legitimate uses; each allow should carry a why in
+//! the adjacent comment.
+
+use super::Diagnostic;
+use crate::callgraph::CallGraph;
+use crate::contracts::Entry;
+use crate::rules::ratchet::crate_of;
+use crate::scanner::{count_word, index_brackets, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule name for the panic-freedom contract.
+pub const HOT_PANIC: &str = "hot_panic";
+/// Rule name for the allocation-discipline contract.
+pub const HOT_ALLOC: &str = "hot_alloc";
+/// Every contract rule family `lint_contracts.json` may reference.
+pub const RULES: [&str; 2] = [HOT_PANIC, HOT_ALLOC];
+
+/// Panic-idiom tokens (matched on blanked code).
+const PANIC_TOKENS: [&str; 6] = [
+    "panic!",
+    ".unwrap()",
+    ".expect(",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Per-request allocation tokens (matched on blanked code).
+const ALLOC_TOKENS: [&str; 10] = [
+    "Vec::new",
+    "vec!",
+    ".push(",
+    ".collect",
+    "format!",
+    ".to_vec(",
+    ".to_string(",
+    ".to_owned(",
+    "String::new",
+    "Box::new",
+];
+
+/// Tokens of `rule` present in one blanked code line.
+fn tokens_in(rule: &str, code: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let list: &[&str] = if rule == HOT_PANIC {
+        &PANIC_TOKENS
+    } else {
+        &ALLOC_TOKENS
+    };
+    for tok in list {
+        if count_word(code, tok) > 0 {
+            found.push((*tok).to_string());
+        }
+    }
+    if rule == HOT_PANIC && index_brackets(code) > 0 {
+        found.push("[..] indexing".to_string());
+    }
+    found
+}
+
+/// Checks every declared contract entry against the call graph.
+///
+/// `files` maps workspace-relative paths to their scanned sources (for
+/// body-line token scans and `allow` annotations); `contracts_label` is
+/// the diagnostics anchor for entry-resolution failures.
+pub fn check(
+    contracts_label: &str,
+    contracts: &BTreeMap<String, Entry>,
+    graph: &CallGraph,
+    files: &BTreeMap<String, SourceFile>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // One report per (site, rule), first entry (in sorted order) wins.
+    let mut reported: BTreeSet<(String, usize, &'static str, String)> = BTreeSet::new();
+    for (name, entry) in contracts {
+        let matches: Vec<usize> = (0..graph.fns.len())
+            .filter(|&i| {
+                let f = &graph.fns[i];
+                if f.is_test || crate_of(&f.path).as_deref() != Some(entry.krate.as_str()) {
+                    return false;
+                }
+                match name.split_once("::") {
+                    Some((ty, simple)) => f.name == simple && f.type_name.as_deref() == Some(ty),
+                    None => f.name == *name,
+                }
+            })
+            .collect();
+        if matches.is_empty() {
+            out.push(Diagnostic {
+                path: contracts_label.to_string(),
+                line: 1,
+                rule: HOT_PANIC,
+                message: format!(
+                    "contract entry `{name}` matches no function in crate `{}` — renamed or \
+                     removed? update {contracts_label} so the gate keeps firing",
+                    entry.krate
+                ),
+            });
+            continue;
+        }
+        for rule in &entry.rules {
+            let rule_name: &'static str = if rule == HOT_PANIC {
+                HOT_PANIC
+            } else {
+                HOT_ALLOC
+            };
+            for &root in &matches {
+                let parents = graph.reachable(root);
+                for &fidx in parents.keys() {
+                    let f = &graph.fns[fidx];
+                    let Some((body_start, body_end)) = f.body else {
+                        continue;
+                    };
+                    let Some(src) = files.get(&f.path) else {
+                        continue;
+                    };
+                    for lineno in body_start..=body_end {
+                        let Some(line) = src.lines.get(lineno - 1) else {
+                            continue;
+                        };
+                        if line.allows(rule_name) {
+                            continue;
+                        }
+                        for tok in tokens_in(rule_name, &line.code) {
+                            let key = (f.path.clone(), lineno, rule_name, tok.clone());
+                            if !reported.insert(key) {
+                                continue;
+                            }
+                            let chain = graph.chain(&parents, fidx);
+                            let via = if chain.len() <= 1 {
+                                String::new()
+                            } else {
+                                format!(" via {}", chain.join(" → "))
+                            };
+                            let fix = if rule_name == HOT_PANIC {
+                                "return an Option/outcome instead, or annotate \
+                                 `// lint: allow(hot_panic)` with a why"
+                            } else {
+                                "hoist the allocation to per-batch setup (with_capacity \
+                                 scratch) or annotate `// lint: allow(hot_alloc)` with a why"
+                            };
+                            out.push(Diagnostic {
+                                path: f.path.clone(),
+                                line: lineno,
+                                rule: rule_name,
+                                message: format!(
+                                    "`{tok}` in `{}` is reachable from hot entry `{name}` \
+                                     ({}){via}: {fix}",
+                                    graph.qualified(fidx),
+                                    entry.why
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::parser::parse_file;
+    use crate::scanner::scan_source;
+
+    fn setup(src: &str, contracts_json: &str) -> Vec<Diagnostic> {
+        let path = "crates/serve/src/hot.rs";
+        let file = scan_source(path, src);
+        let graph = CallGraph::build(&[parse_file(&file)], &|_, _| true);
+        let mut files = BTreeMap::new();
+        files.insert(path.to_string(), file);
+        let contracts = crate::contracts::from_json(contracts_json).unwrap();
+        let mut out = Vec::new();
+        check("lint_contracts.json", &contracts, &graph, &files, &mut out);
+        out.sort();
+        out
+    }
+
+    const CONTRACT: &str = r#"{ "entry": { "crate": "ssor-serve", "rules": ["hot_panic", "hot_alloc"], "why": "test" } }"#;
+
+    #[test]
+    fn transitive_panic_and_alloc_tokens_fire() {
+        let out = setup(
+            "pub fn entry(x: u32) -> u32 { helper(x) }\n\
+             fn helper(x: u32) -> u32 { deep(x) }\n\
+             fn deep(x: u32) -> u32 {\n    let v: Vec<u32> = (0..x).collect();\n    v[0]\n}\n",
+            CONTRACT,
+        );
+        assert!(out.iter().any(|d| d.rule == "hot_alloc" && d.line == 4));
+        assert!(out
+            .iter()
+            .any(|d| d.rule == "hot_panic" && d.line == 5 && d.message.contains("indexing")));
+        assert!(
+            out.iter()
+                .any(|d| d.message.contains("entry → helper → deep")),
+            "chain is reported: {out:?}"
+        );
+    }
+
+    #[test]
+    fn allow_lines_suppress_and_tests_never_taint() {
+        let out = setup(
+            "pub fn entry(x: u32) -> u32 { helper(x) }\n\
+             fn helper(x: u32) -> u32 {\n\
+                 x.checked_add(1).unwrap() // lint: allow(hot_panic)\n\
+             }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper(x: u32) -> u32 { x.checked_add(1).unwrap() }\n}\n",
+            CONTRACT,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unresolvable_entries_are_loud() {
+        let out = setup("pub fn renamed_entry() {}\n", CONTRACT);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("matches no function"));
+        assert_eq!(out[0].path, "lint_contracts.json");
+    }
+
+    #[test]
+    fn typed_entries_resolve_through_impls() {
+        let out = setup(
+            "impl Table {\n\
+                 pub fn sample(&self) -> u32 { self.row(0) }\n\
+                 fn row(&self, i: usize) -> u32 { self.data[i] }\n\
+             }\n",
+            r#"{ "Table::sample": { "crate": "ssor-serve", "rules": ["hot_panic"], "why": "t" } }"#,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("Table::sample → Table::row"));
+    }
+}

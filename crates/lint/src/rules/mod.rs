@@ -11,6 +11,7 @@
 //! rule for that line. Allows are deliberately per-line, never per-file:
 //! every exemption stays visible next to the code it excuses.
 
+pub mod contract;
 pub mod float_ord;
 pub mod par_collect;
 pub mod ratchet;

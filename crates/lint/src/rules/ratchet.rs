@@ -1,6 +1,7 @@
-//! Rule `ratchet`: per-crate budgets for hash containers and `unwrap`.
+//! Rule `ratchet`: per-crate budgets for panic-prone and
+//! order-unstable idioms.
 //!
-//! **Why.** Two idioms are legal Rust, locally harmless, and globally
+//! **Why.** Four idioms are legal Rust, locally harmless, and globally
 //! corrosive here. `HashMap`/`HashSet` have randomized, run-dependent
 //! iteration order: iterate one into anything serialized — or even
 //! into a float accumulation order — and bytes change between runs
@@ -8,33 +9,45 @@
 //! dense edge-id-indexed vectors and `BTreeMap`s). `.unwrap()` turns a
 //! violated invariant into a traceless panic three layers from the
 //! cause — the decompose/KSP NaN panics this PR fixes were exactly
-//! unwraps on a poisoned float order. Neither can be banned outright
-//! (bounded lookups and invariant-backed unwraps are idiomatic), so
-//! they are *ratcheted*: each crate's count may never grow past the
-//! committed baseline in `lint_budget.json`, and `--bless` re-records
-//! the baseline — which is how reductions tighten it for everyone who
-//! comes after.
+//! unwraps on a poisoned float order. Slice indexing `v[i]` is the
+//! same hazard with even less of a trace (the panic message names no
+//! field), and `panic!` itself marks a path someone decided may bring
+//! the process down. None can be banned outright (bounded lookups,
+//! invariant-backed unwraps, and loud unreachable states are
+//! idiomatic), so they are *ratcheted*: each crate's count may never
+//! grow past the committed baseline in `lint_budget.json`, and
+//! `--bless` re-records the baseline — which is how reductions tighten
+//! it for everyone who comes after. The hot paths get the stronger,
+//! non-negotiable treatment via the contract rules
+//! ([`crate::rules::contract`]); the ratchet is the whole-workspace
+//! backstop.
 //!
-//! **What counts.** Word-boundary `HashMap`/`HashSet` tokens and
-//! literal `.unwrap()` calls in the code (comments, doc examples, and
-//! strings never count — the scanner blanks them), over each crate's
-//! `src/` tree only (`tests/`, `benches/`, `examples/` may unwrap
-//! freely; in-file `#[cfg(test)]` modules do count, which is
-//! deliberate slack in the budget, not precision). A line annotated
-//! `// lint: allow(ratchet)` is excluded from counting.
+//! **What counts.** Word-boundary `HashMap`/`HashSet` tokens, literal
+//! `.unwrap()` calls, expression-position `[` index brackets (see
+//! [`crate::scanner::index_brackets`]), and `panic!` invocations in
+//! the code (comments, doc examples, and strings never count — the
+//! scanner blanks them), over each crate's `src/` tree only
+//! (`tests/`, `benches/`, `examples/` may unwrap freely; in-file
+//! `#[cfg(test)]` modules do count, which is deliberate slack in the
+//! budget, not precision). A line annotated `// lint: allow(ratchet)`
+//! is excluded from counting.
 
 use super::Diagnostic;
-use crate::scanner::{count_word, SourceFile};
+use crate::scanner::{count_word, index_brackets, SourceFile};
 use std::collections::BTreeMap;
 
 /// Rule name, as spelled in `lint: allow(...)`.
 pub const NAME: &str = "ratchet";
 
-/// The two ratcheted metrics, for one file or one crate.
+/// The ratcheted metrics, for one file or one crate.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Counts {
     /// Word-boundary `HashMap` + `HashSet` occurrences.
     pub hash_containers: usize,
+    /// Expression-position `[` index brackets.
+    pub indexing: usize,
+    /// `panic!` invocations.
+    pub panics: usize,
     /// Literal `.unwrap()` calls.
     pub unwraps: usize,
 }
@@ -43,6 +56,8 @@ impl Counts {
     /// Accumulates another file's counts into this crate total.
     pub fn add(&mut self, other: Counts) {
         self.hash_containers += other.hash_containers;
+        self.indexing += other.indexing;
+        self.panics += other.panics;
         self.unwraps += other.unwraps;
     }
 }
@@ -56,6 +71,8 @@ pub fn count_file(file: &SourceFile) -> Counts {
         }
         c.hash_containers += count_word(&line.code, "HashMap");
         c.hash_containers += count_word(&line.code, "HashSet");
+        c.indexing += index_brackets(&line.code);
+        c.panics += count_word(&line.code, "panic!");
         c.unwraps += line.code.matches(".unwrap()").count();
     }
     c
@@ -92,9 +109,8 @@ pub fn check_counts(
     notes: &mut Vec<String>,
 ) {
     for (krate, c) in counts {
-        let b = budget.get(krate).copied();
-        let (bh, bu) = match b {
-            Some(b) => (b.hash_containers, b.unwraps),
+        let b = match budget.get(krate).copied() {
+            Some(b) => b,
             None => {
                 out.push(Diagnostic {
                     path: budget_path.to_string(),
@@ -102,16 +118,39 @@ pub fn check_counts(
                     rule: NAME,
                     message: format!(
                         "crate `{krate}` has no budget entry (measured: {} hash containers, \
-                         {} unwraps); run `ssor-lint --bless` to record it",
-                        c.hash_containers, c.unwraps
+                         {} index brackets, {} panics, {} unwraps); run `ssor-lint --bless` \
+                         to record it",
+                        c.hash_containers, c.indexing, c.panics, c.unwraps
                     ),
                 });
                 continue;
             }
         };
-        for (metric, have, max) in [
-            ("hash_containers", c.hash_containers, bh),
-            ("unwraps", c.unwraps, bu),
+        for (metric, have, max, why) in [
+            (
+                "hash_containers",
+                c.hash_containers,
+                b.hash_containers,
+                "HashMap iteration order erodes the determinism contract",
+            ),
+            (
+                "indexing",
+                c.indexing,
+                b.indexing,
+                "slice indexing panics trace-free on a bad index",
+            ),
+            (
+                "panics",
+                c.panics,
+                b.panics,
+                "each panic! is a path someone decided may kill the process",
+            ),
+            (
+                "unwraps",
+                c.unwraps,
+                b.unwraps,
+                "unwrap panics surface three layers from their cause",
+            ),
         ] {
             if have > max {
                 out.push(Diagnostic {
@@ -120,9 +159,8 @@ pub fn check_counts(
                     rule: NAME,
                     message: format!(
                         "crate `{krate}` exceeds its `{metric}` budget: {have} > {max} — \
-                         remove the new uses (HashMap iteration order and unwrap panics \
-                         both erode the determinism contract) or justify raising the \
-                         budget in review"
+                         remove the new uses ({why}) or justify raising the budget in \
+                         review"
                     ),
                 });
             } else if have < max {
@@ -151,13 +189,18 @@ mod tests {
     #[test]
     fn counting_ignores_comments_strings_and_allowed_lines() {
         let src = "use std::collections::HashMap;\n\
-                   // HashMap in a comment, .unwrap() too\n\
+                   // HashMap in a comment, .unwrap() too, v[i], panic!\n\
                    let s = \"HashSet\";\n\
                    let x = opt.unwrap();\n\
-                   let m: HashMap<u32, HashSet<u32>> = HashMap::new(); // lint: allow(ratchet)\n";
+                   let y = v[i] + w[j];\n\
+                   panic!(\"boom\");\n\
+                   let m: HashMap<u32, HashSet<u32>> = HashMap::new(); // lint: allow(ratchet)\n\
+                   let z = v[k]; // lint: allow(ratchet)\n";
         let f = scan_source("crates/x/src/a.rs", src);
         let c = count_file(&f);
         assert_eq!(c.hash_containers, 1);
+        assert_eq!(c.indexing, 2);
+        assert_eq!(c.panics, 1);
         assert_eq!(c.unwraps, 1);
     }
 
@@ -184,6 +227,8 @@ mod tests {
             "ssor-a".to_string(),
             Counts {
                 hash_containers: 3,
+                indexing: 4,
+                panics: 2,
                 unwraps: 1,
             },
         );
@@ -191,6 +236,8 @@ mod tests {
             "ssor-new".to_string(),
             Counts {
                 hash_containers: 0,
+                indexing: 0,
+                panics: 0,
                 unwraps: 2,
             },
         );
@@ -199,17 +246,21 @@ mod tests {
             "ssor-a".to_string(),
             Counts {
                 hash_containers: 2,
+                indexing: 4,
+                panics: 1,
                 unwraps: 5,
             },
         );
         budget.insert("ssor-gone".to_string(), Counts::default());
         let (mut out, mut notes) = (Vec::new(), Vec::new());
         check_counts("lint_budget.json", &counts, &budget, &mut out, &mut notes);
-        // ssor-a: hash overrun + unwrap under-budget note; ssor-new:
-        // missing entry; ssor-gone: stale note.
-        assert_eq!(out.len(), 2, "{out:?}");
+        // ssor-a: hash + panic overruns, indexing exactly on budget,
+        // unwrap under-budget note; ssor-new: missing entry; ssor-gone:
+        // stale note.
+        assert_eq!(out.len(), 3, "{out:?}");
         assert!(out[0].message.contains("exceeds its `hash_containers`"));
-        assert!(out[1].message.contains("no budget entry"));
+        assert!(out[1].message.contains("exceeds its `panics`"));
+        assert!(out[2].message.contains("no budget entry"));
         assert_eq!(notes.len(), 2, "{notes:?}");
         assert!(notes[0].contains("tighten"));
         assert!(notes[1].contains("matches no crate"));

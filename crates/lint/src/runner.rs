@@ -4,11 +4,26 @@
 //! `(path, line, rule)` before printing, so the checker's output is a
 //! pure function of the tree's contents — the same byte-stability
 //! standard the rest of the workspace holds its reports to.
+//!
+//! The run is two-pass. Pass one scans every `.rs` file, runs the
+//! per-file token rules, and accumulates the ratchet counts. Pass two
+//! parses the *library* files (`crates/*/src/**` and `src/**`, minus
+//! `src/bin/**` — binaries cannot be callees of library code) into an
+//! approximate call graph ([`crate::callgraph`]) — with edges pruned
+//! to the Cargo dependency closure read from the manifests, so a name
+//! collision cannot resolve across a crate boundary the linker would
+//! reject — and enforces the hot-path contracts declared in
+//! `lint_contracts.json` ([`crate::rules::contract`]). A missing
+//! contract file is itself a violation: deleting it must not silently
+//! disarm the gate.
 
 use crate::budget;
-use crate::rules::{self, ratchet, Diagnostic, FileClass};
-use crate::scanner::scan_source;
-use std::collections::BTreeMap;
+use crate::callgraph::CallGraph;
+use crate::contracts;
+use crate::parser::{parse_file, ParsedFile};
+use crate::rules::{self, contract, ratchet, Diagnostic, FileClass};
+use crate::scanner::{scan_source, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -85,6 +100,86 @@ fn collect_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     Ok(files)
 }
 
+/// Whether a workspace-relative path joins the call graph: library
+/// code only — the contract rules reason about what the serving and
+/// sweep binaries can *link*, and a `src/bin/**` helper sharing a name
+/// with a library function would only manufacture false taint.
+fn in_call_graph(rel: &str) -> bool {
+    ratchet::crate_of(rel).is_some() && !rel.contains("src/bin/")
+}
+
+/// The workspace's first-party dependency closure, read from the
+/// `Cargo.toml` manifests: crate name → every `ssor-*` crate it can
+/// transitively link. `[dev-dependencies]` are excluded on purpose —
+/// they only reach test code, and test functions are never call-graph
+/// candidates anyway.
+///
+/// This is what makes name-based call resolution honest about crate
+/// boundaries: `ssor-serve` reusing the method name `expect` must not
+/// resolve into `ssor-lint`'s own parser, because no serving binary
+/// links the lint tooling.
+fn workspace_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            manifests.push(e.path().join("Cargo.toml"));
+        }
+    }
+    for manifest in manifests {
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let mut section = String::new();
+        let mut name = None;
+        let mut deps = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                section = line.to_string();
+                continue;
+            }
+            if section == "[package]" && name.is_none() {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start().strip_prefix('=').unwrap_or(rest);
+                    name = Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+            if section == "[dependencies]" && line.contains('=') {
+                let key: String = line
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                    .collect();
+                if key.starts_with("ssor") {
+                    deps.insert(key);
+                }
+            }
+        }
+        if let Some(name) = name {
+            direct.insert(name, deps);
+        }
+    }
+    // Transitive closure by fixpoint (the dep graph is tiny).
+    loop {
+        let mut grew = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            let indirect: BTreeSet<String> = deps
+                .iter()
+                .filter_map(|d| snapshot.get(d))
+                .flatten()
+                .cloned()
+                .collect();
+            for d in indirect {
+                grew |= deps.insert(d);
+            }
+        }
+        if !grew {
+            return direct;
+        }
+    }
+}
+
 /// Runs the full rulebook over the workspace at `root` against the
 /// budget at `budget_path`. In [`Mode::Bless`] the budget file is
 /// rewritten to the measured counts instead of being compared.
@@ -96,6 +191,7 @@ pub fn run(root: &Path, budget_path: &Path, mode: Mode) -> io::Result<Outcome> {
         .unwrap_or("lint_budget.json")
         .to_string();
 
+    let mut graph_files: BTreeMap<String, SourceFile> = BTreeMap::new();
     for (rel, path) in collect_sources(root)? {
         let text = fs::read_to_string(&path)?;
         let file = scan_source(&rel, &text);
@@ -108,7 +204,51 @@ pub fn run(root: &Path, budget_path: &Path, mode: Mode) -> io::Result<Outcome> {
                 .or_default()
                 .add(ratchet::count_file(&file));
         }
+        if in_call_graph(&rel) {
+            graph_files.insert(rel, file);
+        }
         outcome.files_scanned += 1;
+    }
+
+    // Pass two: call graph + hot-path contracts. BTreeMap iteration
+    // keeps the parse list in sorted path order, so fn indices — and
+    // therefore diagnostics — are deterministic.
+    let parsed: Vec<ParsedFile> = graph_files.values().map(parse_file).collect();
+    let deps = workspace_deps(root);
+    let may_call = |caller: &str, callee: &str| {
+        let (Some(a), Some(b)) = (ratchet::crate_of(caller), ratchet::crate_of(callee)) else {
+            return true;
+        };
+        if a == b {
+            return true;
+        }
+        // A missing manifest keeps the edge: over-approximate, never
+        // silently blind the contract.
+        deps.get(&a).is_none_or(|d| d.contains(&b))
+    };
+    let graph = CallGraph::build(&parsed, &may_call);
+    match fs::read_to_string(root.join(contracts::FILE_NAME)) {
+        Ok(text) => {
+            let declared = contracts::from_json(&text)?;
+            contract::check(
+                contracts::FILE_NAME,
+                &declared,
+                &graph,
+                &graph_files,
+                &mut outcome.diagnostics,
+            );
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            outcome.diagnostics.push(Diagnostic {
+                path: contracts::FILE_NAME.to_string(),
+                line: 1,
+                rule: contract::HOT_PANIC,
+                message: "hot-path contract file not found at the workspace root — \
+                          restore it; deleting it must not disarm the contract gate"
+                    .to_string(),
+            });
+        }
+        Err(e) => return Err(e),
     }
 
     match mode {
@@ -144,6 +284,24 @@ pub fn run(root: &Path, budget_path: &Path, mode: Mode) -> io::Result<Outcome> {
     Ok(outcome)
 }
 
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the scan root. Shared by the CLI and
+/// the in-process callers (self-check tests, the bench harness).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +311,29 @@ mod tests {
         for dir in ["vendor", "target", "fixtures"] {
             assert!(SKIP_DIRS.contains(&dir));
         }
+    }
+
+    #[test]
+    fn dependency_closure_separates_tooling_from_the_serving_plane() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        let deps = workspace_deps(&root);
+        let serve = deps.get("ssor-serve").expect("serve manifest parsed");
+        assert!(serve.contains("ssor-graph"), "direct dep");
+        assert!(serve.contains("ssor-core"), "transitive via ssor-engine");
+        assert!(!serve.contains("ssor-lint"), "tooling is unlinkable");
+        assert!(!serve.contains("ssor-bench"), "tooling is unlinkable");
+        assert!(
+            !deps.get("ssor-graph").unwrap().contains("ssor-core"),
+            "dependencies are directional"
+        );
+    }
+
+    #[test]
+    fn call_graph_membership_is_library_only() {
+        assert!(in_call_graph("crates/serve/src/query.rs"));
+        assert!(in_call_graph("src/lib.rs"));
+        assert!(!in_call_graph("crates/bench/src/bin/bench_trajectory.rs"));
+        assert!(!in_call_graph("crates/serve/tests/t.rs"));
+        assert!(!in_call_graph("examples/quickstart.rs"));
     }
 }

@@ -400,6 +400,50 @@ pub fn contains_word(code: &str, needle: &str) -> bool {
     count_word(code, needle) > 0
 }
 
+/// Counts the `[` characters that open an *index expression*: the
+/// previous non-space character is an identifier character, `)`, or
+/// `]` — i.e. a subscript on a place expression, which panics when out
+/// of bounds. Attributes (`#[`), macros (`vec![`), array literals,
+/// slice types (`&[u8]`), and patterns never match: their `[` follows
+/// punctuation. Shared by the `ratchet` `indexing` counter and the
+/// `hot_panic` contract rule.
+pub fn index_brackets(code: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut count = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        let Some(&p) = bytes[..j].last() else {
+            continue;
+        };
+        if !(p.is_ascii_alphanumeric() || p == b'_' || p == b')' || p == b']') {
+            continue;
+        }
+        // An identifier before `[` is indexing *unless* it is a keyword
+        // (`let [a, b] =`, `for [x, y] in`, `return [..]` are patterns
+        // or array expressions, not element access).
+        let start = bytes[..j]
+            .iter()
+            .rposition(|&c| !(c.is_ascii_alphanumeric() || c == b'_'))
+            .map(|k| k + 1)
+            .unwrap_or(0);
+        let word = &code[start..j];
+        if matches!(
+            word,
+            "let" | "in" | "mut" | "ref" | "if" | "else" | "match" | "return" | "break" | "for"
+        ) {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +533,17 @@ mod tests {
         assert_eq!(lit.content, "wall");
         assert_eq!(lit.prev, Some('('));
         assert_eq!(lit.next, Some(','));
+    }
+
+    #[test]
+    fn index_bracket_detection() {
+        assert_eq!(index_brackets("let x = v[i] + w[j + 1];"), 2);
+        assert_eq!(index_brackets("f(a)[0] and m[k][l]"), 3);
+        assert_eq!(index_brackets("#[derive(Debug)]"), 0);
+        assert_eq!(index_brackets("let v = vec![1, 2];"), 0);
+        assert_eq!(index_brackets("fn f(x: &[u8], y: [u32; 4]) {}"), 0);
+        assert_eq!(index_brackets("let [a, b] = pair;"), 0);
+        assert_eq!(index_brackets("Vec<[f64; 4]>"), 0);
     }
 
     #[test]

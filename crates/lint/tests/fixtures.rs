@@ -15,7 +15,9 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
-use ssor_lint::rules::{self, ratchet};
+use ssor_lint::callgraph::CallGraph;
+use ssor_lint::parser::parse_file;
+use ssor_lint::rules::{self, contract, ratchet};
 use ssor_lint::{scan_source, Diagnostic, FileClass};
 
 fn fixture_dir(rule: &str) -> PathBuf {
@@ -121,12 +123,64 @@ fn forbid_unsafe_only_binds_crate_roots() {
     assert!(out.is_empty(), "non-root modules carry no attribute duty");
 }
 
+/// Runs the call-graph contract rules on one fixture: the file is
+/// parsed into a one-file call graph of its own, with its `entry`
+/// function declared hot under `rule`.
+fn check_contract_fixture(rule: &str, which: &str) -> Vec<Diagnostic> {
+    let text = fs::read_to_string(fixture_dir(rule).join(which)).unwrap();
+    let pretend = "crates/serve/src/hot.rs";
+    let file = scan_source(pretend, &text);
+    let graph = CallGraph::build(&[parse_file(&file)], &|_, _| true);
+    let contracts = ssor_lint::contracts::from_json(&format!(
+        r#"{{ "entry": {{ "crate": "ssor-serve", "rules": ["{rule}"], "why": "fixture" }} }}"#
+    ))
+    .unwrap();
+    let mut files = BTreeMap::new();
+    files.insert(pretend.to_string(), file);
+    let mut out = Vec::new();
+    contract::check("lint_contracts.json", &contracts, &graph, &files, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn hot_panic_contract_fires_transitively_and_accepts() {
+    let out = check_contract_fixture("hot_panic", "positive.rs");
+    assert!(
+        out.iter()
+            .any(|d| d.message.contains("entry → lookup → pick")),
+        "callee-of-callee detection reports the chain: {out:?}"
+    );
+    assert_golden("hot_panic", &out);
+    assert_silent(
+        "hot_panic",
+        &check_contract_fixture("hot_panic", "negative.rs"),
+    );
+}
+
+#[test]
+fn hot_alloc_contract_fires_transitively_and_accepts() {
+    let out = check_contract_fixture("hot_alloc", "positive.rs");
+    assert!(
+        out.iter()
+            .any(|d| d.message.contains("entry → fanout → gather")),
+        "callee-of-callee detection reports the chain: {out:?}"
+    );
+    assert_golden("hot_alloc", &out);
+    assert_silent(
+        "hot_alloc",
+        &check_contract_fixture("hot_alloc", "negative.rs"),
+    );
+}
+
 #[test]
 fn ratchet_rule_fires_and_accepts() {
     let budget: BTreeMap<String, ratchet::Counts> = [(
         "ssor-fxt".to_string(),
         ratchet::Counts {
             hash_containers: 1,
+            indexing: 1,
+            panics: 0,
             unwraps: 1,
         },
     )]

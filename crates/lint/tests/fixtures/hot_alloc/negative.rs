@@ -1,0 +1,19 @@
+// Fixture: explicit-capacity allocation is the audited per-batch cost
+// the rule allows by doctrine, and a deliberate fill into reserved
+// capacity carries its allow.
+
+pub fn entry(n: usize) -> Vec<u32> {
+    fanout(n)
+}
+
+fn fanout(n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    fill(n, &mut out);
+    out
+}
+
+fn fill(n: usize, out: &mut Vec<u32>) {
+    for i in 0..n {
+        out.push(i as u32); // lint: allow(hot_alloc) capacity reserved by fanout
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: per-request allocation two calls deep (entry → fanout →
+// gather) — growth-by-push and the implicit zero-capacity Vec must be
+// reported with the chain that makes them hot.
+
+pub fn entry(n: usize) -> Vec<u32> {
+    fanout(n)
+}
+
+fn fanout(n: usize) -> Vec<u32> {
+    gather(n)
+}
+
+fn gather(n: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i as u32);
+    }
+    out
+}

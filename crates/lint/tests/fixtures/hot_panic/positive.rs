@@ -1,0 +1,16 @@
+// Fixture: the hot entry's transitive closure (entry → lookup → pick)
+// contains an unwrap, an expect, and raw slice indexing — each must be
+// reported with the call chain that makes it hot.
+
+pub fn entry(xs: &[f64], i: usize) -> f64 {
+    lookup(xs, i)
+}
+
+fn lookup(xs: &[f64], i: usize) -> f64 {
+    pick(xs, i).unwrap()
+}
+
+fn pick(xs: &[f64], i: usize) -> Option<f64> {
+    let first = xs[0];
+    Some(first + xs.iter().copied().next().expect("non-empty"))
+}

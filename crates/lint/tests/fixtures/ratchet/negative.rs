@@ -1,12 +1,16 @@
-// Fixture: within the 1/1 budget. BTreeMap never counts; an allowed
-// line is excluded from the tally; expect() is not unwrap().
+// Fixture: exactly on the 1/1/0/1 budget. BTreeMap never counts; an
+// allowed line is excluded from the tally; expect() is not unwrap();
+// slice patterns and type positions are not index brackets.
 
-fn state() -> BTreeMap<u32, f64> {
+fn state(xs: &[f64]) -> BTreeMap<u32, f64> {
     let mut m = BTreeMap::new();
     let interner: HashMap<u32, u32> = HashMap::new(); // lint: allow(ratchet)
     let lut = HashSet::new();
     let _ = (interner, &lut);
+    let [head, _tail] = split(xs);
+    let first = xs[0] + head;
     m.insert(1, lookup(1).expect("key 1 is seeded"));
     m.insert(2, lookup(2).unwrap());
+    let _ = first;
     m
 }

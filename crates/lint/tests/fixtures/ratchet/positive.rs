@@ -1,5 +1,6 @@
-// Fixture: two hash-container occurrences and two unwraps — over the
-// 1/1 budget the harness checks this file against.
+// Fixture: two hash-container occurrences, two index brackets, one
+// panic!, and two unwraps — over the 1/1/0/1 budget the harness
+// checks this file against.
 
 fn state() -> Vec<(u32, f64)> {
     let mut m = HashMap::new();
@@ -8,4 +9,11 @@ fn state() -> Vec<(u32, f64)> {
     m.insert(1, lookup(1).unwrap());
     m.insert(2, lookup(2).unwrap());
     m.into_iter().collect()
+}
+
+fn pick(xs: &[f64], i: usize) -> f64 {
+    if i >= xs.len() {
+        panic!("index {i} out of range");
+    }
+    xs[i] + xs[0]
 }

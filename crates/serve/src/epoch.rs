@@ -52,12 +52,25 @@ impl<T> EpochCell<T> {
         }
     }
 
+    /// Locks the slot, recovering from poisoning. The slot's invariant
+    /// (snapshot paired with its publish epoch) is written in a single
+    /// assignment under the lock, so a panicked holder cannot leave it
+    /// half-updated — the "poisoned" state is still coherent, and the
+    /// serving plane must keep answering rather than cascade one
+    /// publisher panic into every future query.
+    fn lock_slot(&self) -> std::sync::MutexGuard<'_, (Arc<T>, u64)> {
+        match self.slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Publishes `next` as the current snapshot, returning the new epoch.
     /// Readers observe the bump via [`EpochReader::current`]; in-flight
     /// reads keep their previous `Arc` (snapshots are immutable, old
     /// generations stay valid until the last reader drops them).
     pub fn publish(&self, next: Arc<T>) -> u64 {
-        let mut slot = self.slot.lock().expect("epoch slot");
+        let mut slot = self.lock_slot();
         let e = slot.1 + 1;
         *slot = (next, e);
         // Release-store while still holding the lock: a reader that sees
@@ -75,13 +88,13 @@ impl<T> EpochCell<T> {
     /// Clones the current snapshot (takes the slot lock; query paths
     /// should go through an [`EpochReader`] instead).
     pub fn load(&self) -> Arc<T> {
-        self.slot.lock().expect("epoch slot").0.clone()
+        self.lock_slot().0.clone()
     }
 
     /// A reader bound to this cell, pre-warmed with the current snapshot.
     pub fn reader(cell: &Arc<Self>) -> EpochReader<T> {
         let (cached, seen) = {
-            let slot = cell.slot.lock().expect("epoch slot");
+            let slot = cell.lock_slot();
             (slot.0.clone(), slot.1)
         };
         EpochReader {
@@ -107,7 +120,7 @@ impl<T> EpochReader<T> {
     /// acquisition refreshes the cache.
     pub fn current(&mut self) -> &Arc<T> {
         if self.cell.epoch.load(Ordering::Acquire) != self.seen {
-            let slot = self.cell.slot.lock().expect("epoch slot");
+            let slot = self.cell.lock_slot();
             self.cached = slot.0.clone();
             self.seen = slot.1;
         }

@@ -43,8 +43,9 @@
 //!     .prepare(&Default::default());
 //! let cell = Arc::new(EpochCell::new(Arc::new(prepared.route_table(0).unwrap())));
 //! let plane = QueryPlane::new(Arc::clone(&cell), 4, 2);
-//! let replies = plane.answer_batch(&[Request { id: 1, s: 0, t: 7 }]);
-//! assert_eq!(replies[0].paths.len(), 4);
+//! let batch = plane.answer_batch(&[Request { id: 1, s: 0, t: 7 }]);
+//! assert_eq!(batch.replies[0].paths.len(), 4);
+//! assert_eq!(batch.unroutable, 0);
 //! // Publishing a new generation never stalls or perturbs readers:
 //! cell.publish(Arc::new(prepared.route_table(1).unwrap()));
 //! assert_eq!(plane.generation(), 1);
@@ -59,6 +60,7 @@ mod rebuild;
 
 pub use epoch::{EpochCell, EpochReader};
 pub use query::{
-    answer_batch_on, answer_on, query_seed, QueryPlane, Reply, Request, QUERY_STREAM_TAG,
+    answer_batch_on, answer_on, query_seed, BatchOutcome, QueryPlane, Reply, Request,
+    QUERY_STREAM_TAG,
 };
 pub use rebuild::{churned_source, ChurnModel, Rebuilder};

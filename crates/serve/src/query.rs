@@ -55,8 +55,30 @@ pub struct Reply {
     /// Generation of the [`RouteTable`] snapshot that answered.
     pub generation: u64,
     /// The sampled paths, in draw order (duplicates allowed — sampling
-    /// is with replacement, Definition 5.2).
+    /// is with replacement, Definition 5.2). Empty exactly when the
+    /// pair was not in the table (`α >= 1` everywhere else).
     pub paths: Vec<PathId>,
+}
+
+impl Reply {
+    /// Whether this reply marks an unroutable pair — the table had no
+    /// entry for `(s, t)`, so no paths were drawn. Unroutable requests
+    /// are served, counted, and echoed rather than panicking a shard:
+    /// one malformed pair must never take the query plane down.
+    pub fn is_unroutable(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// The result of answering one batch: per-request replies in request
+/// order, plus how many of them were unroutable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// One reply per request, in request order. Unroutable requests
+    /// yield an empty-paths reply (see [`Reply::is_unroutable`]).
+    pub replies: Vec<Reply>,
+    /// Number of unroutable replies in `replies`.
+    pub unroutable: usize,
 }
 
 /// Answers one request against an explicit snapshot. `None` when the
@@ -81,12 +103,34 @@ pub struct Reply {
 /// ```
 pub fn answer_on(table: &RouteTable, alpha: usize, req: &Request) -> Option<Reply> {
     let mut rng = StdRng::seed_from_u64(query_seed(table.generation(), req.id));
-    let paths = table.sample_alpha(req.s, req.t, alpha, &mut rng)?;
+    // The reply owns its paths, so this is the one per-request
+    // allocation — explicit-capacity, never grown.
+    let mut paths = Vec::with_capacity(alpha);
+    if !table.sample_alpha_into(req.s, req.t, alpha, &mut rng, &mut paths) {
+        return None;
+    }
     Some(Reply {
         request_id: req.id,
         generation: table.generation(),
         paths,
     })
+}
+
+/// Answers one request infallibly: an unroutable pair yields the
+/// counted empty-paths reply instead of `None`.
+fn serve_one(table: &RouteTable, alpha: usize, req: &Request, unroutable: &mut usize) -> Reply {
+    match answer_on(table, alpha, req) {
+        Some(reply) => reply,
+        None => {
+            *unroutable += 1;
+            Reply {
+                request_id: req.id,
+                generation: table.generation(),
+                // An empty Vec never allocates.
+                paths: Vec::new(), // lint: allow(hot_alloc)
+            }
+        }
+    }
 }
 
 /// The sharded query front-end over an epoch-swapped [`RouteTable`].
@@ -137,13 +181,9 @@ impl QueryPlane {
         self.cell.load().generation()
     }
 
-    /// Answers a batch of requests, in request order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if some request's pair is not in the current table (an
-    /// all-pairs snapshot serves every `s != t`).
-    pub fn answer_batch(&self, requests: &[Request]) -> Vec<Reply> {
+    /// Answers a batch of requests, in request order. Unroutable pairs
+    /// are counted in the outcome, never panicked on.
+    pub fn answer_batch(&self, requests: &[Request]) -> BatchOutcome {
         let table = self.cell.load();
         answer_batch_on(&table, self.alpha, self.shards, requests)
     }
@@ -152,52 +192,74 @@ impl QueryPlane {
 /// [`QueryPlane::answer_batch`] against an explicit snapshot: round-robin
 /// over `shards` threads (request `i` goes to shard `i % shards`), merged
 /// back in request order. Sharding moves wall-clock only — replies are a
-/// per-request pure function, so the output is identical at any count.
+/// per-request pure function, so the outcome is identical at any count.
+/// A request whose pair is missing from the table yields a counted
+/// empty-paths reply (see [`Reply::is_unroutable`]); every other reply
+/// is byte-for-byte what [`answer_on`] returns for it.
 ///
 /// # Panics
 ///
-/// Panics if `alpha == 0`, `shards == 0`, or a request's pair is missing
-/// from the table.
+/// Panics if `alpha == 0` or `shards == 0` (configuration errors, not
+/// per-request conditions).
 pub fn answer_batch_on(
     table: &RouteTable,
     alpha: usize,
     shards: usize,
     requests: &[Request],
-) -> Vec<Reply> {
+) -> BatchOutcome {
     assert!(alpha >= 1, "alpha must be positive");
     assert!(shards >= 1, "need at least one shard");
-    let serve = |req: &Request| {
-        answer_on(table, alpha, req)
-            .unwrap_or_else(|| panic!("pair ({}, {}) not in the table", req.s, req.t))
-    };
     if shards == 1 || requests.len() <= 1 {
-        return requests.iter().map(serve).collect();
+        let mut replies = Vec::with_capacity(requests.len());
+        let mut unroutable = 0;
+        for req in requests {
+            // Appends into the per-batch reserve above.
+            replies.push(serve_one(table, alpha, req, &mut unroutable)); // lint: allow(hot_alloc)
+        }
+        return BatchOutcome {
+            replies,
+            unroutable,
+        };
     }
     let shards = shards.min(requests.len());
     let mut per_shard: Vec<Vec<Reply>> = Vec::with_capacity(shards);
+    let mut unroutable = 0;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|k| {
-                let serve = &serve;
                 scope.spawn(move || {
-                    requests
-                        .iter()
-                        .skip(k)
-                        .step_by(shards)
-                        .map(serve)
-                        .collect::<Vec<Reply>>()
+                    // Per-shard scratch, reserved once per batch.
+                    let mut out = Vec::with_capacity(requests.len().div_ceil(shards));
+                    let mut missed = 0;
+                    for req in requests.iter().skip(k).step_by(shards) {
+                        out.push(serve_one(table, alpha, req, &mut missed)); // lint: allow(hot_alloc)
+                    }
+                    (out, missed)
                 })
             })
-            .collect();
+            .collect::<Vec<_>>(); // lint: allow(hot_alloc) — one handle per shard, per batch
         for h in handles {
-            per_shard.push(h.join().expect("query shard panicked"));
+            // A shard panic is a process-level bug (serving never
+            // panics per-request); re-raising it here is the only
+            // honest option.
+            let (out, missed) = h.join().expect("query shard panicked"); // lint: allow(hot_panic)
+            per_shard.push(out); // lint: allow(hot_alloc) — per-batch merge setup
+            unroutable += missed;
         }
     });
-    // Inverse of the round-robin split: request i is reply i / shards of
-    // shard i % shards.
-    (0..requests.len())
-        .map(|i| per_shard[i % shards][i / shards].clone())
-        .collect()
+    // Inverse of the round-robin split: request i is the next unconsumed
+    // reply of shard i % shards — a move, never a clone.
+    let mut cursors: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect(); // lint: allow(hot_alloc)
+    let mut replies = Vec::with_capacity(requests.len());
+    for i in 0..requests.len() {
+        if let Some(reply) = cursors.get_mut(i % shards).and_then(Iterator::next) {
+            replies.push(reply); // lint: allow(hot_alloc) — per-batch reserve above
+        }
+    }
+    BatchOutcome {
+        replies,
+        unroutable,
+    }
 }
 
 #[cfg(test)]
@@ -243,8 +305,10 @@ mod tests {
         for shards in [2, 3, 8, 64] {
             assert_eq!(one, answer_batch_on(&t, 4, shards, &reqs), "{shards}");
         }
-        assert_eq!(one.len(), 37);
+        assert_eq!(one.replies.len(), 37);
+        assert_eq!(one.unroutable, 0);
         assert!(one
+            .replies
             .iter()
             .enumerate()
             .all(|(i, r)| r.request_id == i as u64));
@@ -256,10 +320,10 @@ mod tests {
         let plane = QueryPlane::new(Arc::clone(&cell), 2, 4);
         let reqs = requests(10);
         let before = plane.answer_batch(&reqs);
-        assert!(before.iter().all(|r| r.generation == 0));
+        assert!(before.replies.iter().all(|r| r.generation == 0));
         cell.publish(Arc::new(table(1)));
         let after = plane.answer_batch(&reqs);
-        assert!(after.iter().all(|r| r.generation == 1));
+        assert!(after.replies.iter().all(|r| r.generation == 1));
         // Replay contract: the old batch still reproduces from gen 0.
         let replay = answer_batch_on(&table(0), 2, 1, &reqs);
         assert_eq!(before, replay);
@@ -283,18 +347,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in the table")]
-    fn missing_pairs_panic_loudly() {
-        let t = table(0);
-        answer_batch_on(
-            &t,
-            1,
-            1,
-            &[Request {
+    fn missing_pairs_are_counted_not_panicked() {
+        let t = table(3);
+        let mut reqs = requests(12);
+        reqs[5] = Request {
+            id: 5,
+            s: 0,
+            t: 200,
+        };
+        for shards in [1, 4] {
+            let out = answer_batch_on(&t, 2, shards, &reqs);
+            assert_eq!(out.replies.len(), 12, "every request gets a reply");
+            assert_eq!(out.unroutable, 1);
+            let miss = &out.replies[5];
+            assert!(miss.is_unroutable());
+            assert_eq!(miss.request_id, 5);
+            assert_eq!(miss.generation, 3);
+            // Every routable reply is bit-identical to its standalone
+            // answer — the bad pair perturbs nothing around it.
+            for (i, r) in out.replies.iter().enumerate() {
+                if i != 5 {
+                    assert_eq!(*r, answer_on(&t, 2, &reqs[i]).unwrap());
+                }
+            }
+        }
+        // An all-unroutable batch still returns, counting every miss.
+        let bad = vec![
+            Request {
                 id: 0,
                 s: 0,
                 t: 200,
-            }],
-        );
+            },
+            Request {
+                id: 1,
+                s: 0,
+                t: 201,
+            },
+        ];
+        let out = answer_batch_on(&t, 2, 2, &bad);
+        assert_eq!(out.unroutable, 2);
+        assert!(out.replies.iter().all(Reply::is_unroutable));
     }
 }

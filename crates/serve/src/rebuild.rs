@@ -239,9 +239,9 @@ mod tests {
         // exact snapshot that answered.
         let mut replay = churned_source(Arc::new(PathSystemCache::new()), base(), churn);
         for batch in &batches {
-            let g = batch[0].generation;
+            let g = batch.replies[0].generation;
             assert!(
-                batch.iter().all(|r| r.generation == g),
+                batch.replies.iter().all(|r| r.generation == g),
                 "one snapshot per batch"
             );
             let reference = replay(g);

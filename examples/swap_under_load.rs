@@ -15,7 +15,8 @@
 use ssor::engine::{PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
 use ssor::graph::VertexId;
 use ssor::serve::{
-    answer_batch_on, churned_source, ChurnModel, EpochCell, QueryPlane, Rebuilder, Reply, Request,
+    answer_batch_on, churned_source, BatchOutcome, ChurnModel, EpochCell, QueryPlane, Rebuilder,
+    Request,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,7 +54,7 @@ fn requests(n: u32) -> Vec<Request> {
 
 /// Answers `batches` batches, returning every reply batch plus the
 /// per-batch wall times in nanoseconds.
-fn drive(plane: &QueryPlane, reqs: &[Request], batches: usize) -> (Vec<Vec<Reply>>, Vec<u128>) {
+fn drive(plane: &QueryPlane, reqs: &[Request], batches: usize) -> (Vec<BatchOutcome>, Vec<u128>) {
     let mut replies = Vec::with_capacity(batches);
     let mut nanos = Vec::with_capacity(batches);
     for _ in 0..batches {
@@ -118,18 +119,19 @@ fn main() {
     let mut generations = std::collections::BTreeMap::new();
     let mut verified = 0usize;
     for batch in quiet_replies.iter().chain(churn_replies.iter()) {
-        let g = batch[0].generation;
+        let g = batch.replies[0].generation;
         assert!(
-            batch.iter().all(|r| r.generation == g),
+            batch.replies.iter().all(|r| r.generation == g),
             "batch answered from mixed generations"
         );
+        assert_eq!(batch.unroutable, 0, "all-pairs snapshots route everything");
         let reference = generations.entry(g).or_insert_with(|| replay(g));
         assert_eq!(
             batch,
             &answer_batch_on(reference, ALPHA, 1, &reqs),
             "generation {g} does not replay bit-exactly"
         );
-        verified += batch.len();
+        verified += batch.replies.len();
     }
     println!(
         "  verified {verified} replies across {} generations: all bit-exact",

@@ -21,7 +21,8 @@ use ssor::engine::{PathSystemCache, Pipeline, TemplateSpec, TopologySpec};
 use ssor::flow::Routing;
 use ssor::graph::{generators, Path, RouteTable, RouteTableBuilder, VertexId};
 use ssor::serve::{
-    answer_batch_on, churned_source, ChurnModel, EpochCell, QueryPlane, Rebuilder, Reply, Request,
+    answer_batch_on, churned_source, BatchOutcome, ChurnModel, EpochCell, QueryPlane, Rebuilder,
+    Request,
 };
 use std::sync::Arc;
 
@@ -86,7 +87,7 @@ fn run_with_swap_schedule(
     batches: usize,
     shards: usize,
     reqs: &[Request],
-) -> Vec<Vec<Reply>> {
+) -> Vec<BatchOutcome> {
     let mut source = churned_source(Arc::new(PathSystemCache::new()), base_pipeline(), churn());
     let cell = Arc::new(EpochCell::new(Arc::new(source(0))));
     let plane = QueryPlane::new(Arc::clone(&cell), ALPHA, shards);
@@ -114,8 +115,8 @@ fn swap_timing_never_changes_a_generations_replies() {
     let tables: Vec<RouteTable> = (0..=max_gen).map(reference_table).collect();
     for stream in [&fast, &slow] {
         for batch in stream {
-            let g = batch[0].generation;
-            assert!(batch.iter().all(|r| r.generation == g));
+            let g = batch.replies[0].generation;
+            assert!(batch.replies.iter().all(|r| r.generation == g));
             let reference = answer_batch_on(&tables[g as usize], ALPHA, 1, &reqs);
             assert_eq!(batch, &reference, "generation {g} does not replay");
         }
@@ -123,7 +124,7 @@ fn swap_timing_never_changes_a_generations_replies() {
     // ...so whenever the two schedules answered from the same generation,
     // their replies are identical even though swaps landed elsewhere.
     for (a, b) in fast.iter().zip(slow.iter()) {
-        if a[0].generation == b[0].generation {
+        if a.replies[0].generation == b.replies[0].generation {
             assert_eq!(a, b);
         }
     }
@@ -131,7 +132,7 @@ fn swap_timing_never_changes_a_generations_replies() {
     assert!(
         fast.iter()
             .zip(slow.iter())
-            .any(|(a, b)| a[0].generation != b[0].generation),
+            .any(|(a, b)| a.replies[0].generation != b.replies[0].generation),
         "schedules never diverged; the cross-check above is vacuous"
     );
 }
@@ -159,7 +160,7 @@ fn live_rebuilder_stress_stays_replayable() {
     assert_eq!(rb.stop(), max_generations);
     let mut seen = std::collections::BTreeSet::new();
     for batch in &batches {
-        let g = batch[0].generation;
+        let g = batch.replies[0].generation;
         seen.insert(g);
         assert_eq!(
             batch,
